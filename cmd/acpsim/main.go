@@ -1,0 +1,196 @@
+// Command acpsim runs a single configurable composition simulation and
+// reports success rate, overhead, and per-window series.
+//
+// Usage:
+//
+//	acpsim -alg ACP -rate 80 -alpha 0.3 -minutes 100
+//	acpsim -alg Optimal -nodes 600 -rate 80
+//	acpsim -alg ACP -rate 60 -tune -target 0.9
+//	acpsim -record run.trace && acpsim -replay run.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/placement"
+	"repro/internal/trace"
+	"repro/internal/tuning"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "acpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func parseAlgorithm(name string) (core.Algorithm, error) {
+	algorithms := []core.Algorithm{
+		core.AlgACP, core.AlgOptimal, core.AlgSP, core.AlgRP, core.AlgRandom, core.AlgStatic,
+	}
+	for _, a := range algorithms {
+		if strings.EqualFold(a.String(), name) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (have ACP, Optimal, SP, RP, Random, Static)", name)
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("acpsim", flag.ContinueOnError)
+	var (
+		algName  = fs.String("alg", "ACP", "composition algorithm")
+		rate     = fs.Float64("rate", 80, "request rate (requests/minute)")
+		alpha    = fs.Float64("alpha", 0.3, "probing ratio")
+		minutes  = fs.Float64("minutes", 100, "simulated duration in minutes")
+		nodes    = fs.Int("nodes", 400, "overlay (stream processing) node count")
+		ipNodes  = fs.Int("ipnodes", 3200, "IP-layer topology size")
+		perNode  = fs.Int("pernode", 1, "components deployed per node")
+		seed     = fs.Int64("seed", 1, "random seed")
+		tune     = fs.Bool("tune", false, "enable the probing-ratio tuner")
+		target   = fs.Float64("target", 0.9, "tuner success-rate target")
+		qosLevel = fs.String("qos", "high", "QoS strictness: low, high, veryhigh")
+		series   = fs.Bool("series", false, "print the per-window success series")
+		record   = fs.String("record", "", "record the workload trace to this file")
+		replay   = fs.String("replay", "", "replay a recorded workload trace instead of generating one")
+		pi       = fs.Bool("pi", false, "use the PI-controller tuner instead of the profiling tuner")
+		failures = fs.Float64("failures", 0, "node failures per minute (0 = none)")
+		repair   = fs.Float64("repair", 10, "minutes a failed node stays down")
+		recomp   = fs.Bool("recompose", false, "re-compose sessions disrupted by failures")
+		migrate  = fs.Bool("migrate", false, "enable dynamic component placement")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	alg, err := parseAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	var level workload.QoSLevel
+	switch strings.ToLower(*qosLevel) {
+	case "low":
+		level = workload.QoSLow
+	case "high":
+		level = workload.QoSHigh
+	case "veryhigh":
+		level = workload.QoSVeryHigh
+	default:
+		return fmt.Errorf("unknown QoS level %q", *qosLevel)
+	}
+
+	scfg := experiment.DefaultSystemConfig()
+	scfg.Seed = *seed
+	scfg.IPNodes = *ipNodes
+	scfg.OverlayNodes = *nodes
+	scfg.ComponentsPerNode = *perNode
+	platform, err := experiment.BuildPlatform(scfg)
+	if err != nil {
+		return err
+	}
+
+	rc := experiment.DefaultRunConfig(*rate)
+	rc.Seed = *seed
+	rc.Algorithm = alg
+	rc.ProbingRatio = *alpha
+	rc.Duration = time.Duration(*minutes * float64(time.Minute))
+	rc.QoSLevel = level
+	switch {
+	case *tune && *pi:
+		picfg := tuning.DefaultPIConfig()
+		picfg.Target = *target
+		rc.PITuning = &picfg
+	case *tune:
+		tcfg := tuning.DefaultConfig()
+		tcfg.Target = *target
+		rc.Tuning = &tcfg
+	}
+	if *failures > 0 {
+		rc.FailuresPerMinute = *failures
+		rc.RepairTime = time.Duration(*repair * float64(time.Minute))
+		rc.RecomposeOnFailure = *recomp
+	}
+	if *migrate {
+		pcfg := placement.DefaultConfig()
+		rc.Migration = &pcfg
+	}
+	var recordFile *os.File
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		recordFile = f
+		defer f.Close()
+		rc.TraceWriter = trace.NewWriter(f)
+	}
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			return err
+		}
+		records, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		rc.Replay = records
+		fmt.Printf("replaying %d recorded requests from %s\n", len(records), *replay)
+	}
+
+	start := time.Now()
+	res, err := experiment.Run(platform, rc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("algorithm        %s (alpha=%.2f%s)\n", alg, *alpha, tuneSuffix(*tune, *target))
+	fmt.Printf("system           N=%d overlay nodes on %d IP nodes, %d components\n",
+		*nodes, *ipNodes, platform.Catalog.NumComponents())
+	fmt.Printf("workload         %.0f reqs/min for %.0f min (%s)\n", *rate, *minutes, level)
+	fmt.Printf("requests         %d\n", res.Requests)
+	fmt.Printf("success rate     %.2f%%\n", 100*res.SuccessRate)
+	fmt.Printf("overhead         %.0f messages/min (%s)\n", res.OverheadPerMinute, res.Messages)
+	fmt.Printf("mean probe RTT   %v\n", res.MeanProbeLatency.Round(time.Millisecond))
+	fmt.Printf("mean phi         %.3f\n", res.MeanPhi)
+	if *tune {
+		fmt.Printf("tuner reprofiles %d\n", res.Reprofiles)
+	}
+	if *failures > 0 {
+		fmt.Printf("failures         %d crashes, %d sessions disrupted, %d recomposed\n",
+			res.Failures, res.Disrupted, res.Recomposed)
+	}
+	if *migrate {
+		fmt.Printf("migrations       %d component moves\n", res.MigrationMoves)
+	}
+	fmt.Printf("wall clock       %v\n", time.Since(start).Round(time.Millisecond))
+	if recordFile != nil {
+		fmt.Printf("trace            recorded %d requests to %s\n", res.Requests, recordFile.Name())
+	}
+
+	if *series {
+		fmt.Println("\nwindow series (minute, success %, alpha):")
+		ratio := make(map[time.Duration]float64, len(res.RatioSeries))
+		for _, p := range res.RatioSeries {
+			ratio[p.At] = p.Value
+		}
+		for _, p := range res.SuccessSeries {
+			fmt.Printf("  %6.1f  %6.2f  %.2f\n", p.At.Minutes(), 100*p.Value, ratio[p.At])
+		}
+	}
+	return nil
+}
+
+func tuneSuffix(tune bool, target float64) string {
+	if !tune {
+		return ""
+	}
+	return fmt.Sprintf(", tuned to %.0f%% target", 100*target)
+}

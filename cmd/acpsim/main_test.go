@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func tiny(extra ...string) []string {
+	base := []string{"-ipnodes", "300", "-nodes", "60", "-minutes", "10", "-rate", "20"}
+	return append(base, extra...)
+}
+
+func TestRunBasicSimulation(t *testing.T) {
+	if err := run(tiny()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, alg := range []string{"acp", "Optimal", "sp", "RP", "random", "STATIC"} {
+		if err := run(tiny("-alg", alg)); err != nil {
+			t.Fatalf("algorithm %s: %v", alg, err)
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	got, err := parseAlgorithm("optimal")
+	if err != nil || got != core.AlgOptimal {
+		t.Errorf("parseAlgorithm(optimal) = %v, %v", got, err)
+	}
+	if _, err := parseAlgorithm("bogus"); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+}
+
+func TestRunWithTuners(t *testing.T) {
+	if err := run(tiny("-tune", "-series")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tiny("-tune", "-pi")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQoSLevels(t *testing.T) {
+	for _, lvl := range []string{"low", "high", "veryhigh"} {
+		if err := run(tiny("-qos", lvl)); err != nil {
+			t.Fatalf("level %s: %v", lvl, err)
+		}
+	}
+	if err := run(tiny("-qos", "bogus")); err == nil {
+		t.Error("bogus QoS level accepted")
+	}
+}
+
+func TestRunRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.trace")
+	if err := run(tiny("-record", path)); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file: %v, %v", fi, err)
+	}
+	if err := run(tiny("-replay", path)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tiny("-replay", filepath.Join(dir, "missing.trace"))); err == nil {
+		t.Error("missing replay file accepted")
+	}
+}
+
+func TestRunInvalidFlags(t *testing.T) {
+	if err := run([]string{"-rate", "nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run(tiny("-alg", "bogus")); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+}
+
+func TestRunFailuresAndMigration(t *testing.T) {
+	if err := run(tiny("-failures", "0.5", "-repair", "3", "-recompose")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tiny("-migrate")); err != nil {
+		t.Fatal(err)
+	}
+}

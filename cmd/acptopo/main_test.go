@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSmallTopology(t *testing.T) {
+	if err := run([]string{"-ipnodes", "300", "-nodes", "40", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithHistogram(t *testing.T) {
+	if err := run([]string{"-ipnodes", "200", "-nodes", "20", "-hist"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInvalidFlags(t *testing.T) {
+	if err := run([]string{"-ipnodes", "nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-ipnodes", "10", "-nodes", "40"}); err == nil {
+		t.Error("overlay larger than IP accepted")
+	}
+}

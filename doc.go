@@ -1,0 +1,43 @@
+// Package acp is a Go implementation of Adaptive Composition Probing
+// (ACP) — the optimal component composition system for scalable
+// distributed stream processing published by Gu, Yu, and Nahrstedt at
+// ICDCS 2005 — together with the full simulation substrate used in the
+// paper's evaluation.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/core — the ACP protocol and the comparison algorithms
+//     (exhaustive Optimal, SP, RP, Random, Static);
+//   - internal/topology, internal/overlay — the power-law IP network and
+//     the stream processing overlay mesh;
+//   - internal/state — the resource ledger and hierarchical (precise
+//     local / coarse global) state management;
+//   - internal/tuning — the probing-ratio tuner that holds a target
+//     composition success rate;
+//   - internal/runtime — a live in-process cluster offering the paper's
+//     Find / Process / Close session interface with a goroutine-per-
+//     component data plane;
+//   - internal/experiment — the simulation harness that regenerates
+//     every figure of the paper's evaluation.
+//
+// Two entry points cover most uses. NewCluster starts a live in-process
+// stream processing system:
+//
+//	cluster, err := acp.NewCluster(acp.DefaultClusterConfig())
+//	// handle err
+//	defer cluster.Shutdown()
+//
+//	graph := acp.NewPathGraph([]acp.FunctionID{0, 1, 2})
+//	id, err := cluster.Find(graph, qosReq, resReq, 200 /* kbps */)
+//	// handle err
+//	in, out, err := cluster.Process(id)
+//	// stream data units through in/out ...
+//	cluster.Close(id)
+//
+// ReproduceFigure regenerates a paper experiment:
+//
+//	tables, err := acp.ReproduceFigure("6a", acp.FigureOptions{})
+//
+// See README.md for the architecture overview and EXPERIMENTS.md for the
+// paper-versus-measured comparison of every table and figure.
+package acp

@@ -1,0 +1,57 @@
+package acp_test
+
+import (
+	"fmt"
+	"log"
+
+	acp "repro"
+)
+
+// Example composes a two-stage stream processing application on an
+// in-process cluster and pushes three data units through it.
+func Example() {
+	cfg := acp.DefaultClusterConfig()
+	cfg.IPNodes = 256
+	cfg.OverlayNodes = 32
+	cfg.NumFunctions = 8
+	cluster, err := acp.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	cluster.RegisterFunction(1, func(u acp.DataUnit) []acp.DataUnit {
+		u.Payload = u.Payload.(int) * 2
+		return []acp.DataUnit{u}
+	})
+
+	graph := acp.NewPathGraph([]acp.FunctionID{0, 1})
+	session, err := cluster.Find(graph,
+		acp.QoS{Delay: 1000, LossCost: acp.LossCost(0.1)},
+		[]acp.Resources{{CPU: 5, Memory: 50}, {CPU: 5, Memory: 50}},
+		100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in, out, err := cluster.Process(session)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for i := 1; i <= 3; i++ {
+			in <- acp.DataUnit{Seq: int64(i), Payload: i}
+		}
+		close(in)
+	}()
+	for u := range out {
+		fmt.Println(u.Payload)
+	}
+	if err := cluster.Close(session); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// 2
+	// 4
+	// 6
+}

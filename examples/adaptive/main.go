@@ -1,0 +1,81 @@
+// Adaptive: the probing-ratio tuner in action — the Figure 8(b)
+// experiment as a runnable program. A 400-node simulated system faces a
+// workload that doubles mid-run; the tuner raises the probing ratio to
+// defend a 90% composition success target and relaxes it when the load
+// drops.
+//
+//	go run ./examples/adaptive            # ~40 simulated minutes
+//	go run ./examples/adaptive -scale 1   # the full 150-minute run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/tuning"
+	"repro/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "duration scale (1.0 = the paper's 150 minutes)")
+	flag.Parse()
+	if err := run(*scale); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(scale float64) error {
+	scfg := experiment.DefaultSystemConfig()
+	scfg.ComponentsPerNode = 2 // ten candidates per function (§3.4 example)
+	platform, err := experiment.BuildPlatform(scfg)
+	if err != nil {
+		return err
+	}
+
+	total := time.Duration(float64(150*time.Minute) * scale)
+	if total < 15*time.Minute {
+		total = 15 * time.Minute
+	}
+	phases := []workload.Phase{
+		{Until: total / 3, RatePerMinute: 40},
+		{Until: 2 * total / 3, RatePerMinute: 80}, // the load spike
+		{Until: 1 << 62, RatePerMinute: 60},
+	}
+
+	rc := experiment.DefaultRunConfig(0)
+	rc.Phases = phases
+	rc.Duration = total
+	rc.ProbingRatio = 0.1 // the tuner's base ratio
+	rc.MaxProbesPerRequest = 2000
+	tcfg := tuning.DefaultConfig() // 90% target
+	tcfg.ErrorThreshold = 0.05
+	rc.Tuning = &tcfg
+	rc.TraceCap = 100
+
+	fmt.Printf("simulating %v: rate 40 -> 80 (t=%v) -> 60 (t=%v), target success 90%%\n",
+		total, total/3, 2*total/3)
+	res, err := experiment.Run(platform, rc)
+	if err != nil {
+		return err
+	}
+
+	ratio := make(map[time.Duration]float64, len(res.RatioSeries))
+	for _, p := range res.RatioSeries {
+		ratio[p.At] = p.Value
+	}
+	fmt.Println("\n  minute  success  alpha   ")
+	fmt.Println("  ------  -------  --------")
+	for _, p := range res.SuccessSeries {
+		bar := ""
+		for i := 0.0; i < ratio[p.At]; i += 0.1 {
+			bar += "#"
+		}
+		fmt.Printf("  %6.0f  %6.1f%%  %.2f %s\n", p.At.Minutes(), 100*p.Value, ratio[p.At], bar)
+	}
+	fmt.Printf("\ncumulative success %.1f%% over %d requests; tuner re-profiled %d times\n",
+		100*res.SuccessRate, res.Requests, res.Reprofiles)
+	return nil
+}

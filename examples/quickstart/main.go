@@ -1,0 +1,96 @@
+// Quickstart: compose a three-stage stream processing application with
+// ACP on an in-process cluster and push a data stream through it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	acp "repro"
+)
+
+// The application: parse -> filter -> aggregate over a stream of numbers.
+const (
+	fnParse     acp.FunctionID = 0
+	fnFilter    acp.FunctionID = 1
+	fnAggregate acp.FunctionID = 2
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Start a cluster: 64 stream processing nodes on a simulated
+	//    512-node power-law Internet topology.
+	cluster, err := acp.NewCluster(acp.DefaultClusterConfig())
+	if err != nil {
+		return err
+	}
+	defer cluster.Shutdown()
+
+	// 2. Register the per-unit work of each stream processing function.
+	cluster.RegisterFunction(fnParse, func(u acp.DataUnit) []acp.DataUnit {
+		u.Payload = u.Payload.(int) * 10 // pretend-parse: scale raw input
+		return []acp.DataUnit{u}
+	})
+	cluster.RegisterFunction(fnFilter, func(u acp.DataUnit) []acp.DataUnit {
+		if u.Payload.(int)%20 == 0 { // keep even tens only
+			return []acp.DataUnit{u}
+		}
+		return nil
+	})
+	sum := 0
+	cluster.RegisterFunction(fnAggregate, func(u acp.DataUnit) []acp.DataUnit {
+		sum += u.Payload.(int)
+		u.Payload = sum // running total
+		return []acp.DataUnit{u}
+	})
+
+	// 3. Find: ACP composes the least-loaded qualified component graph
+	//    subject to the QoS and resource requirements (§2.2).
+	graph := acp.NewPathGraph([]acp.FunctionID{fnParse, fnFilter, fnAggregate})
+	session, err := cluster.Find(graph,
+		acp.QoS{Delay: 500 /* ms end-to-end */, LossCost: acp.LossCost(0.05)},
+		[]acp.Resources{
+			{CPU: 10, Memory: 100},
+			{CPU: 5, Memory: 50},
+			{CPU: 8, Memory: 80},
+		},
+		200, // kbps per virtual link
+	)
+	if err != nil {
+		return fmt.Errorf("compose: %w", err)
+	}
+	desc, err := cluster.Describe(session)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("composed session %d (phi=%.3f, %s):\n", session, desc.Phi, desc.QoS)
+	for _, pc := range desc.Components {
+		fmt.Printf("  position %d: function %d -> component %d on node %d\n",
+			pc.Position, pc.Function, pc.Component, pc.Node)
+	}
+
+	// 4. Process: stream data units through the composed pipeline.
+	in, out, err := cluster.Process(session)
+	if err != nil {
+		return err
+	}
+	go func() {
+		for i := 1; i <= 10; i++ {
+			in <- acp.DataUnit{Seq: int64(i), Payload: i}
+		}
+		close(in)
+	}()
+	for u := range out {
+		fmt.Printf("  unit %d -> running total %v\n", u.Seq, u.Payload)
+	}
+
+	// 5. Close tears the session down and frees its resources.
+	return cluster.Close(session)
+}

@@ -1,0 +1,132 @@
+// Stockmonitor: the paper's stock-price-tracing scenario — a pipeline of
+// tick parsing, symbol filtering, windowed aggregation, and fraud-pattern
+// matching, composed under a tight latency budget. Demonstrates QoS
+// infeasibility handling: the example first asks for an impossible
+// latency, receives the middleware's "null sessionId" (ErrNoComposition),
+// and retries with a realistic budget.
+//
+//	go run ./examples/stockmonitor
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	acp "repro"
+)
+
+const (
+	fnParseTick acp.FunctionID = 4
+	fnFilterSym acp.FunctionID = 5
+	fnWindowAgg acp.FunctionID = 6
+	fnFraudScan acp.FunctionID = 7
+)
+
+type tick struct {
+	Symbol string
+	Price  float64
+	Avg    float64
+	Alert  bool
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := acp.DefaultClusterConfig()
+	cfg.Seed = 11
+	cluster, err := acp.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer cluster.Shutdown()
+
+	cluster.RegisterFunction(fnParseTick, func(u acp.DataUnit) []acp.DataUnit {
+		return []acp.DataUnit{u} // ticks arrive pre-parsed in this toy feed
+	})
+	cluster.RegisterFunction(fnFilterSym, func(u acp.DataUnit) []acp.DataUnit {
+		if u.Payload.(tick).Symbol == "ACME" {
+			return []acp.DataUnit{u}
+		}
+		return nil
+	})
+	var (
+		sum   float64
+		count int
+	)
+	cluster.RegisterFunction(fnWindowAgg, func(u acp.DataUnit) []acp.DataUnit {
+		t := u.Payload.(tick)
+		sum += t.Price
+		count++
+		t.Avg = sum / float64(count)
+		u.Payload = t
+		return []acp.DataUnit{u}
+	})
+	cluster.RegisterFunction(fnFraudScan, func(u acp.DataUnit) []acp.DataUnit {
+		t := u.Payload.(tick)
+		// Toy surveillance rule: a tick 20% above the running average.
+		t.Alert = t.Price > 1.2*t.Avg
+		u.Payload = t
+		return []acp.DataUnit{u}
+	})
+
+	graph := acp.NewPathGraph([]acp.FunctionID{fnParseTick, fnFilterSym, fnWindowAgg, fnFraudScan})
+	resources := []acp.Resources{
+		{CPU: 8, Memory: 64},
+		{CPU: 4, Memory: 32},
+		{CPU: 12, Memory: 256},
+		{CPU: 16, Memory: 128},
+	}
+
+	// An impossible 1 ms end-to-end budget: composition must fail with
+	// the middleware's null session.
+	_, err = cluster.Find(graph, acp.QoS{Delay: 1, LossCost: acp.LossCost(0.001)}, resources, 150)
+	if !errors.Is(err, acp.ErrNoComposition) {
+		return fmt.Errorf("expected ErrNoComposition for a 1ms budget, got %v", err)
+	}
+	fmt.Println("1ms latency budget: correctly rejected (no qualified composition)")
+
+	// A realistic budget composes fine.
+	session, err := cluster.Find(graph, acp.QoS{Delay: 600, LossCost: acp.LossCost(0.05)}, resources, 150)
+	if err != nil {
+		return fmt.Errorf("compose stock monitor: %w", err)
+	}
+	desc, err := cluster.Describe(session)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("600ms budget: composed with %s (phi=%.3f)\n", desc.QoS, desc.Phi)
+
+	in, out, err := cluster.Process(session)
+	if err != nil {
+		return err
+	}
+	feed := []tick{
+		{Symbol: "ACME", Price: 100},
+		{Symbol: "OTHR", Price: 5},
+		{Symbol: "ACME", Price: 102},
+		{Symbol: "ACME", Price: 99},
+		{Symbol: "ACME", Price: 140}, // spike: should alert
+		{Symbol: "OTHR", Price: 6},
+		{Symbol: "ACME", Price: 101},
+	}
+	go func() {
+		for i, t := range feed {
+			in <- acp.DataUnit{Seq: int64(i), Payload: t}
+		}
+		close(in)
+	}()
+	for u := range out {
+		t := u.Payload.(tick)
+		marker := " "
+		if t.Alert {
+			marker = "!"
+		}
+		fmt.Printf("  %s %s %.0f (avg %.1f)\n", marker, t.Symbol, t.Price, t.Avg)
+	}
+	return cluster.Close(session)
+}

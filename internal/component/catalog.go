@@ -1,0 +1,215 @@
+package component
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/qos"
+)
+
+// PlacementConfig controls how components are deployed onto overlay nodes.
+type PlacementConfig struct {
+	// NumFunctions is the size of the function catalogue (paper: 80).
+	NumFunctions int
+	// ComponentsPerNode is how many components each overlay node
+	// provides. The paper notes nodes cannot provide every component
+	// (security/licensing/hardware constraints); candidate counts per
+	// function grow proportionally with node count (§4.2 scalability).
+	ComponentsPerNode int
+	// MinProcDelay and MaxProcDelay bound per-component processing delay
+	// in milliseconds.
+	MinProcDelay, MaxProcDelay float64
+	// MinLoss and MaxLoss bound per-component loss rate.
+	MinLoss, MaxLoss float64
+	// SecurityLevels is the number of distinct component security levels
+	// to draw uniformly (components get levels 1..SecurityLevels).
+	SecurityLevels int
+}
+
+// DefaultPlacementConfig mirrors the paper's setup: 80 functions, with
+// component QoS drawn uniformly from ranges "based on real-world
+// measurements".
+func DefaultPlacementConfig() PlacementConfig {
+	return PlacementConfig{
+		NumFunctions:      DefaultNumFunctions,
+		ComponentsPerNode: 1,
+		MinProcDelay:      10,
+		MaxProcDelay:      40,
+		MinLoss:           0.001,
+		MaxLoss:           0.01,
+		SecurityLevels:    3,
+	}
+}
+
+// Catalog records which components are deployed where, indexed both by
+// function (for discovery) and by node. Placement is mutable: the
+// dynamic placement manager migrates components between nodes (footnote
+// 1 of the paper: "components can be dynamically migrated among nodes;
+// composition operates based on the current component placement"), and
+// failure injection marks whole nodes unavailable.
+type Catalog struct {
+	components []Component
+	byFunction [][]ComponentID
+	byNode     [][]ComponentID
+	nodeDown   []bool
+}
+
+// Place deploys components across numNodes overlay nodes. Functions are
+// assigned round-robin over a node permutation so every function ends up
+// with floor/ceil(numNodes*ComponentsPerNode/NumFunctions) candidates —
+// matching the paper's "candidate components per function increase
+// proportionally" scaling property while avoiding empty functions.
+func Place(numNodes int, cfg PlacementConfig, rng *rand.Rand) (*Catalog, error) {
+	if numNodes < 1 {
+		return nil, fmt.Errorf("component: numNodes %d < 1", numNodes)
+	}
+	if cfg.NumFunctions < 1 {
+		return nil, fmt.Errorf("component: NumFunctions %d < 1", cfg.NumFunctions)
+	}
+	if cfg.ComponentsPerNode < 1 {
+		return nil, fmt.Errorf("component: ComponentsPerNode %d < 1", cfg.ComponentsPerNode)
+	}
+	if cfg.MinProcDelay <= 0 || cfg.MaxProcDelay < cfg.MinProcDelay {
+		return nil, fmt.Errorf("component: invalid processing delay range [%v, %v]", cfg.MinProcDelay, cfg.MaxProcDelay)
+	}
+	if cfg.MinLoss < 0 || cfg.MaxLoss < cfg.MinLoss || cfg.MaxLoss >= 1 {
+		return nil, fmt.Errorf("component: invalid loss range [%v, %v]", cfg.MinLoss, cfg.MaxLoss)
+	}
+	if cfg.SecurityLevels < 1 {
+		return nil, fmt.Errorf("component: SecurityLevels %d < 1", cfg.SecurityLevels)
+	}
+
+	total := numNodes * cfg.ComponentsPerNode
+	c := &Catalog{
+		components: make([]Component, 0, total),
+		byFunction: make([][]ComponentID, cfg.NumFunctions),
+		byNode:     make([][]ComponentID, numNodes),
+		nodeDown:   make([]bool, numNodes),
+	}
+
+	// Shuffle (node, slot) placements, then deal functions round-robin so
+	// function coverage is even but geographically random.
+	slots := make([]int, total) // slot i lives on node slots[i]
+	for i := range slots {
+		slots[i] = i / cfg.ComponentsPerNode
+	}
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+
+	for i, node := range slots {
+		f := FunctionID(i % cfg.NumFunctions)
+		delay := cfg.MinProcDelay + rng.Float64()*(cfg.MaxProcDelay-cfg.MinProcDelay)
+		loss := cfg.MinLoss + rng.Float64()*(cfg.MaxLoss-cfg.MinLoss)
+		id := ComponentID(len(c.components))
+		c.components = append(c.components, Component{
+			ID:       id,
+			Node:     node,
+			Function: f,
+			QoS:      qos.Vector{Delay: delay, LossCost: qos.LossCost(loss)},
+			Security: 1 + rng.Intn(cfg.SecurityLevels),
+		})
+		c.byFunction[f] = append(c.byFunction[f], id)
+		c.byNode[node] = append(c.byNode[node], id)
+	}
+	return c, nil
+}
+
+// Clone returns a deep copy of the catalog. Experiment runs that enable
+// migration or failure injection clone the shared platform catalog so
+// runs stay independent.
+func (c *Catalog) Clone() *Catalog {
+	out := &Catalog{
+		components: append([]Component(nil), c.components...),
+		byFunction: make([][]ComponentID, len(c.byFunction)),
+		byNode:     make([][]ComponentID, len(c.byNode)),
+		nodeDown:   append([]bool(nil), c.nodeDown...),
+	}
+	for i, ids := range c.byFunction {
+		out.byFunction[i] = append([]ComponentID(nil), ids...)
+	}
+	for i, ids := range c.byNode {
+		out.byNode[i] = append([]ComponentID(nil), ids...)
+	}
+	return out
+}
+
+// Move migrates a component to another node, updating the per-node
+// indexes. Subsequent compositions operate on the new placement
+// (footnote 1).
+func (c *Catalog) Move(id ComponentID, node int) error {
+	if int(id) < 0 || int(id) >= len(c.components) {
+		return fmt.Errorf("component: unknown component %d", id)
+	}
+	if node < 0 || node >= len(c.byNode) {
+		return fmt.Errorf("component: node %d out of range", node)
+	}
+	comp := &c.components[id]
+	if comp.Node == node {
+		return nil
+	}
+	old := c.byNode[comp.Node]
+	for i, cid := range old {
+		if cid == id {
+			c.byNode[comp.Node] = append(old[:i], old[i+1:]...)
+			break
+		}
+	}
+	comp.Node = node
+	c.byNode[node] = append(c.byNode[node], id)
+	return nil
+}
+
+// SetNodeAvailable marks an overlay node up or down. Components on a
+// down node stop being offered as candidates.
+func (c *Catalog) SetNodeAvailable(node int, up bool) {
+	if node >= 0 && node < len(c.nodeDown) {
+		c.nodeDown[node] = !up
+	}
+}
+
+// HasDownNodes reports whether any node is currently marked down; the
+// discovery fast path skips candidate filtering while everything is up.
+func (c *Catalog) HasDownNodes() bool {
+	for _, down := range c.nodeDown {
+		if down {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeIsAvailable reports whether the overlay node is up.
+func (c *Catalog) NodeIsAvailable(node int) bool {
+	return node >= 0 && node < len(c.nodeDown) && !c.nodeDown[node]
+}
+
+// Usable reports whether a component can currently be composed: its
+// hosting node must be up.
+func (c *Catalog) Usable(id ComponentID) bool {
+	return c.NodeIsAvailable(c.components[id].Node)
+}
+
+// NumComponents returns the number of deployed components.
+func (c *Catalog) NumComponents() int { return len(c.components) }
+
+// NumFunctions returns the size of the function catalogue.
+func (c *Catalog) NumFunctions() int { return len(c.byFunction) }
+
+// Component returns the component with the given ID.
+func (c *Catalog) Component(id ComponentID) Component { return c.components[int(id)] }
+
+// Candidates returns the IDs of components providing function f. The
+// returned slice is internal storage; callers must not modify it.
+func (c *Catalog) Candidates(f FunctionID) []ComponentID {
+	if int(f) < 0 || int(f) >= len(c.byFunction) {
+		return nil
+	}
+	return c.byFunction[f]
+}
+
+// OnNode returns the IDs of components hosted on the given overlay node.
+func (c *Catalog) OnNode(node int) []ComponentID {
+	if node < 0 || node >= len(c.byNode) {
+		return nil
+	}
+	return c.byNode[node]
+}

@@ -1,0 +1,163 @@
+package component
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/qos"
+)
+
+func mustBranchGraph(t *testing.T) *Graph {
+	t.Helper()
+	// Source F0, branches {F1, F2} and {F3}, sink F4 — the Figure 1(c)
+	// shape.
+	g, err := NewBranchGraph(0, []FunctionID{1, 2}, []FunctionID{3}, 4)
+	if err != nil {
+		t.Fatalf("NewBranchGraph: %v", err)
+	}
+	return g
+}
+
+func TestNewPathGraph(t *testing.T) {
+	g := NewPathGraph([]FunctionID{5, 6, 7})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !g.IsPath() {
+		t.Error("path graph not recognised as path")
+	}
+	if got := g.NumPositions(); got != 3 {
+		t.Errorf("NumPositions = %d, want 3", got)
+	}
+	if src := g.Sources(); len(src) != 1 || src[0] != 0 {
+		t.Errorf("Sources = %v, want [0]", src)
+	}
+	if snk := g.Sinks(); len(snk) != 1 || snk[0] != 2 {
+		t.Errorf("Sinks = %v, want [2]", snk)
+	}
+}
+
+func TestNewBranchGraphShape(t *testing.T) {
+	g := mustBranchGraph(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.IsPath() {
+		t.Error("branch graph recognised as path")
+	}
+	if got := g.NumPositions(); got != 5 {
+		t.Fatalf("NumPositions = %d, want 5", got)
+	}
+	paths := g.Paths()
+	if len(paths) != 2 {
+		t.Fatalf("Paths = %v, want 2 paths", paths)
+	}
+	for _, p := range paths {
+		if p[0] != 0 {
+			t.Errorf("path %v does not start at source", p)
+		}
+		if p[len(p)-1] != g.NumPositions()-1 {
+			t.Errorf("path %v does not end at sink", p)
+		}
+	}
+}
+
+func TestNewBranchGraphEmptyBranch(t *testing.T) {
+	if _, err := NewBranchGraph(0, nil, []FunctionID{1}, 2); err == nil {
+		t.Error("empty branch accepted")
+	}
+}
+
+func TestGraphValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		g    Graph
+	}{
+		{name: "empty", g: Graph{}},
+		{name: "edge out of range", g: Graph{Functions: []FunctionID{0, 1}, Edges: []Edge{{From: 0, To: 5}}}},
+		{name: "self loop", g: Graph{Functions: []FunctionID{0, 1}, Edges: []Edge{{From: 0, To: 0}}}},
+		{name: "duplicate edge", g: Graph{Functions: []FunctionID{0, 1}, Edges: []Edge{{From: 0, To: 1}, {From: 0, To: 1}}}},
+		{name: "cycle", g: Graph{Functions: []FunctionID{0, 1}, Edges: []Edge{{From: 0, To: 1}, {From: 1, To: 0}}}},
+		{name: "disconnected", g: Graph{Functions: []FunctionID{0, 1, 2, 3}, Edges: []Edge{{From: 0, To: 1}, {From: 2, To: 3}}}},
+		{name: "two sources", g: Graph{Functions: []FunctionID{0, 1, 2}, Edges: []Edge{{From: 0, To: 2}, {From: 1, To: 2}}}},
+		{name: "two sinks", g: Graph{Functions: []FunctionID{0, 1, 2}, Edges: []Edge{{From: 0, To: 1}, {From: 0, To: 2}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.g.Validate(); err == nil {
+				t.Error("Validate accepted invalid graph")
+			}
+		})
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := mustBranchGraph(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int, len(order))
+	for i, p := range order {
+		pos[p] = i
+	}
+	if len(pos) != g.NumPositions() {
+		t.Fatalf("TopoOrder covers %d positions, want %d", len(pos), g.NumPositions())
+	}
+	for _, e := range g.Edges {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %v violates topological order %v", e, order)
+		}
+	}
+}
+
+func TestSuccessorsPredecessors(t *testing.T) {
+	g := mustBranchGraph(t)
+	// Source 0 fans out to both branch heads.
+	if got := g.Successors(0); len(got) != 2 {
+		t.Errorf("Successors(source) = %v, want 2", got)
+	}
+	// Sink has two predecessors.
+	if got := g.Predecessors(g.NumPositions() - 1); len(got) != 2 {
+		t.Errorf("Predecessors(sink) = %v, want 2", got)
+	}
+	if got := g.Predecessors(0); got != nil {
+		t.Errorf("Predecessors(source) = %v, want none", got)
+	}
+}
+
+func validRequest() *Request {
+	return &Request{
+		ID:           1,
+		Graph:        NewPathGraph([]FunctionID{1, 2}),
+		QoSReq:       qos.Vector{Delay: 100, LossCost: 0.1},
+		ResReq:       []qos.Resources{{CPU: 1}, {CPU: 1}},
+		BandwidthReq: 100,
+		Duration:     5 * time.Minute,
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	if err := validRequest().Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Request)
+	}{
+		{name: "nil graph", mutate: func(r *Request) { r.Graph = nil }},
+		{name: "invalid graph", mutate: func(r *Request) { r.Graph = &Graph{} }},
+		{name: "resource count mismatch", mutate: func(r *Request) { r.ResReq = r.ResReq[:1] }},
+		{name: "negative bandwidth", mutate: func(r *Request) { r.BandwidthReq = -1 }},
+		{name: "zero duration", mutate: func(r *Request) { r.Duration = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := validRequest()
+			tt.mutate(r)
+			if err := r.Validate(); err == nil {
+				t.Error("Validate accepted invalid request")
+			}
+		})
+	}
+}

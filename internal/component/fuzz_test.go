@@ -1,0 +1,47 @@
+package component
+
+import "testing"
+
+// FuzzGraphValidate hardens graph validation: arbitrary edge lists must
+// be classified (valid or error) without panics, and anything Validate
+// accepts must have a consistent topological order and path
+// decomposition.
+func FuzzGraphValidate(f *testing.F) {
+	f.Add(3, []byte{0, 1, 1, 2})
+	f.Add(1, []byte{})
+	f.Add(5, []byte{0, 1, 0, 2, 1, 3, 2, 3})
+	f.Add(2, []byte{0, 1, 1, 0})
+	f.Fuzz(func(t *testing.T, n int, rawEdges []byte) {
+		if n < 0 || n > 32 {
+			return
+		}
+		g := &Graph{Functions: make([]FunctionID, n)}
+		for i := range g.Functions {
+			g.Functions[i] = FunctionID(i)
+		}
+		for i := 0; i+1 < len(rawEdges) && i < 64; i += 2 {
+			g.Edges = append(g.Edges, Edge{From: int(rawEdges[i]) % 33, To: int(rawEdges[i+1]) % 33})
+		}
+		if err := g.Validate(); err != nil {
+			return
+		}
+		// Accepted graphs must be internally consistent.
+		order, err := g.TopoOrder()
+		if err != nil {
+			t.Fatalf("validated graph has no topo order: %v", err)
+		}
+		if len(order) != n {
+			t.Fatalf("topo order covers %d of %d positions", len(order), n)
+		}
+		for _, path := range g.Paths() {
+			if len(path) == 0 {
+				t.Fatal("empty source-sink path")
+			}
+			for _, pos := range path {
+				if pos < 0 || pos >= n {
+					t.Fatalf("path position %d out of range", pos)
+				}
+			}
+		}
+	})
+}

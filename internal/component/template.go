@@ -1,0 +1,120 @@
+package component
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TemplateConfig controls generation of the application template library.
+type TemplateConfig struct {
+	// Count is the number of templates (paper: 20).
+	Count int
+	// NumFunctions is the function catalogue size to draw from.
+	NumFunctions int
+	// MinPathLen and MaxPathLen bound the number of function nodes per
+	// path or branch path (paper: [2, 5]).
+	MinPathLen, MaxPathLen int
+	// DAGFraction is the fraction of templates shaped as two-branch DAGs
+	// rather than simple paths.
+	DAGFraction float64
+}
+
+// DefaultTemplateConfig mirrors §4.1: 20 templates over 80 functions,
+// each a path or two-branch DAG with 2–5 nodes per (branch) path.
+func DefaultTemplateConfig() TemplateConfig {
+	return TemplateConfig{
+		Count:        20,
+		NumFunctions: DefaultNumFunctions,
+		MinPathLen:   2,
+		MaxPathLen:   5,
+		DAGFraction:  0.3,
+	}
+}
+
+// Library is the set of pre-defined stream processing application
+// templates users request instances of.
+type Library struct {
+	graphs []*Graph
+}
+
+// GenerateLibrary builds Count random templates. Functions within one
+// template are distinct, drawn uniformly from the catalogue.
+func GenerateLibrary(cfg TemplateConfig, rng *rand.Rand) (*Library, error) {
+	if cfg.Count < 1 {
+		return nil, fmt.Errorf("component: template Count %d < 1", cfg.Count)
+	}
+	if cfg.MinPathLen < 2 || cfg.MaxPathLen < cfg.MinPathLen {
+		return nil, fmt.Errorf("component: invalid path length range [%d, %d]", cfg.MinPathLen, cfg.MaxPathLen)
+	}
+	if cfg.DAGFraction < 0 || cfg.DAGFraction > 1 {
+		return nil, fmt.Errorf("component: DAGFraction %v out of [0,1]", cfg.DAGFraction)
+	}
+	// A two-branch DAG needs source + sink + one internal function per
+	// branch at minimum; the largest template needs 2 + 2*(MaxPathLen-2).
+	maxNeeded := cfg.MaxPathLen
+	if cfg.DAGFraction > 0 {
+		if n := 2 + 2*(cfg.MaxPathLen-2); n > maxNeeded {
+			maxNeeded = n
+		}
+	}
+	if cfg.NumFunctions < maxNeeded {
+		return nil, fmt.Errorf("component: NumFunctions %d too small for templates needing up to %d distinct functions",
+			cfg.NumFunctions, maxNeeded)
+	}
+
+	lib := &Library{graphs: make([]*Graph, 0, cfg.Count)}
+	for i := 0; i < cfg.Count; i++ {
+		g, err := generateTemplate(cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		lib.graphs = append(lib.graphs, g)
+	}
+	return lib, nil
+}
+
+func generateTemplate(cfg TemplateConfig, rng *rand.Rand) (*Graph, error) {
+	pathLen := func() int {
+		return cfg.MinPathLen + rng.Intn(cfg.MaxPathLen-cfg.MinPathLen+1)
+	}
+	if rng.Float64() >= cfg.DAGFraction {
+		fns := drawDistinct(pathLen(), cfg.NumFunctions, rng)
+		return NewPathGraph(fns), nil
+	}
+	// Two-branch DAG: each branch path (source..sink inclusive) has
+	// pathLen() nodes, of which the internal segment has pathLen()-2
+	// functions; at least one internal function keeps branches distinct.
+	internal1 := maxInt(1, pathLen()-2)
+	internal2 := maxInt(1, pathLen()-2)
+	fns := drawDistinct(2+internal1+internal2, cfg.NumFunctions, rng)
+	return NewBranchGraph(fns[0], fns[1:1+internal1], fns[1+internal1:1+internal1+internal2], fns[len(fns)-1])
+}
+
+func drawDistinct(n, limit int, rng *rand.Rand) []FunctionID {
+	perm := rng.Perm(limit)[:n]
+	out := make([]FunctionID, n)
+	for i, v := range perm {
+		out[i] = FunctionID(v)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Count returns the number of templates in the library.
+func (l *Library) Count() int { return len(l.graphs) }
+
+// Graph returns template i. The returned graph is shared; callers must
+// treat it as immutable.
+func (l *Library) Graph(i int) *Graph { return l.graphs[i] }
+
+// Pick returns a uniformly random template index and its graph.
+func (l *Library) Pick(rng *rand.Rand) (int, *Graph) {
+	i := rng.Intn(len(l.graphs))
+	return i, l.graphs[i]
+}

@@ -1,0 +1,361 @@
+// Package core implements the paper's primary contribution: the adaptive
+// composition probing (ACP) protocol for optimal component composition
+// (§3), plus the five comparison algorithms of the evaluation (§4.1):
+// exhaustive Optimal, selective probing (SP), random probing (RP), and
+// the Random and Static heuristics.
+//
+// The composer separates probing from committing. Probe runs the
+// distributed hop-by-hop protocol of Figure 3 — dropping unqualified
+// probes, performing transient resource allocation, selecting good
+// next-hop candidates under coarse-grain global state guidance, and
+// finally choosing the composition minimizing the congestion aggregation
+// metric phi (Eq. 1). Commit then makes the transient allocations
+// permanent via session confirmation (§3.3 step 4). The gap between the
+// two is the probing round-trip latency, during which the transient
+// allocations shield the chosen resources from concurrent requests.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/discovery"
+	"repro/internal/metrics"
+	"repro/internal/overlay"
+	"repro/internal/qos"
+	"repro/internal/state"
+)
+
+// Algorithm selects the composition algorithm (§4.1).
+type Algorithm int
+
+// The six algorithms of the paper's evaluation.
+const (
+	// AlgACP is adaptive composition probing: global-state-guided per-hop
+	// candidate selection, phi-optimal final selection.
+	AlgACP Algorithm = iota + 1
+	// AlgOptimal exhaustively probes every candidate at every hop and
+	// picks the phi-optimal qualified composition. Exponential overhead.
+	AlgOptimal
+	// AlgSP (selective probing) keeps ACP's per-hop selection but picks a
+	// random qualified composition instead of the phi-optimal one.
+	AlgSP
+	// AlgRP (random probing) selects next-hop candidates uniformly at
+	// random without consulting the global state, then picks the
+	// phi-optimal composition — the fully decentralized baseline.
+	AlgRP
+	// AlgRandom picks one random candidate per function outright.
+	AlgRandom
+	// AlgStatic always picks a fixed candidate per function.
+	AlgStatic
+)
+
+// String names the algorithm as the paper's figure legends do.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgACP:
+		return "ACP"
+	case AlgOptimal:
+		return "Optimal"
+	case AlgSP:
+		return "SP"
+	case AlgRP:
+		return "RP"
+	case AlgRandom:
+		return "Random"
+	case AlgStatic:
+		return "Static"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// SelectionPolicy is the per-hop candidate ranking used by probing
+// algorithms. The paper's ACP ranks by the risk function D (Eq. 9)
+// breaking ties with the congestion function W (Eq. 10); the other
+// policies exist for the ablation benchmarks.
+type SelectionPolicy int
+
+// Per-hop candidate selection policies.
+const (
+	// SelectRiskThenCongestion is the paper's §3.5 rule.
+	SelectRiskThenCongestion SelectionPolicy = iota + 1
+	// SelectRiskOnly ranks by D alone.
+	SelectRiskOnly
+	// SelectCongestionOnly ranks by W alone.
+	SelectCongestionOnly
+	// SelectRandom picks uniformly at random (used by RP).
+	SelectRandom
+)
+
+// Env bundles the substrate a composer operates on.
+type Env struct {
+	Mesh     *overlay.Mesh
+	Catalog  *component.Catalog
+	Registry *discovery.Registry
+	Ledger   *state.Ledger
+	Global   *state.Global
+	Counters *metrics.Counters
+	// Now supplies virtual time for transient-allocation expiry.
+	Now func() time.Duration
+	// Rand drives the random selections of SP/RP/Random and tie
+	// shuffling.
+	Rand *rand.Rand
+}
+
+func (e *Env) validate() error {
+	switch {
+	case e.Mesh == nil:
+		return fmt.Errorf("core: Env.Mesh is nil")
+	case e.Catalog == nil:
+		return fmt.Errorf("core: Env.Catalog is nil")
+	case e.Registry == nil:
+		return fmt.Errorf("core: Env.Registry is nil")
+	case e.Ledger == nil:
+		return fmt.Errorf("core: Env.Ledger is nil")
+	case e.Global == nil:
+		return fmt.Errorf("core: Env.Global is nil")
+	case e.Now == nil:
+		return fmt.Errorf("core: Env.Now is nil")
+	case e.Rand == nil:
+		return fmt.Errorf("core: Env.Rand is nil")
+	}
+	return nil
+}
+
+// Config tunes the composer.
+type Config struct {
+	// Algorithm selects the composition strategy.
+	Algorithm Algorithm
+	// ProbingRatio is alpha in (0, 1]: the fraction of a function's
+	// candidates probed per hop (§3.4). Ignored by Optimal (always 1),
+	// Random, and Static.
+	ProbingRatio float64
+	// HoldTTL is the transient resource allocation timeout: holds placed
+	// by probes expire after this long unless confirmed (§3.3 step 2).
+	HoldTTL time.Duration
+	// TransientAllocation toggles transient holds; disabling it is the
+	// over-admission ablation.
+	TransientAllocation bool
+	// Selection is the per-hop candidate ranking policy. Zero value
+	// means the algorithm's natural policy (ACP/Optimal/SP: risk then
+	// congestion; RP: random).
+	Selection SelectionPolicy
+	// MaxProbesPerRequest caps probe fan-out per request as a safety
+	// valve for Optimal's exponential search. Zero means the default.
+	MaxProbesPerRequest int
+}
+
+// DefaultConfig returns an ACP composer configuration with the paper's
+// mid-range probing ratio.
+func DefaultConfig() Config {
+	return Config{
+		Algorithm:           AlgACP,
+		ProbingRatio:        0.3,
+		HoldTTL:             10 * time.Second,
+		TransientAllocation: true,
+		MaxProbesPerRequest: 200_000,
+	}
+}
+
+// Composition is a concrete component graph lambda = (C, L): one
+// component per function-graph position plus the virtual link route per
+// dependency edge.
+type Composition struct {
+	// Components holds the chosen component per graph position.
+	Components []component.ComponentID
+	// Routes holds the virtual link per graph edge, parallel to
+	// Request.Graph.Edges.
+	Routes []overlay.Route
+	// QoS is the aggregated end-to-end QoS over all components and
+	// virtual links (Eq. 3's left-hand side).
+	QoS qos.Vector
+	// Phi is the congestion aggregation metric (Eq. 1) at decision time.
+	Phi float64
+}
+
+// Outcome is the result of probing one request.
+type Outcome struct {
+	// Request is the composed request.
+	Request *component.Request
+	// Best is the chosen composition, nil when none qualified.
+	Best *Composition
+	// Latency estimates the probing round trip: the deepest probe path's
+	// one-way delay, doubled.
+	Latency time.Duration
+	// ProbesSent and PathsReturned describe the probe tree.
+	ProbesSent    int
+	PathsReturned int
+	// Qualified is the number of distinct qualified compositions the
+	// deputy evaluated.
+	Qualified int
+}
+
+// Success reports whether a composition was found.
+func (o *Outcome) Success() bool { return o.Best != nil }
+
+// Composer runs composition for one algorithm configuration.
+type Composer struct {
+	env Env
+	cfg Config
+}
+
+// NewComposer validates the environment and configuration.
+func NewComposer(env Env, cfg Config) (*Composer, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if env.Counters == nil {
+		env.Counters = &metrics.Counters{}
+	}
+	switch cfg.Algorithm {
+	case AlgACP, AlgOptimal, AlgSP, AlgRP, AlgRandom, AlgStatic:
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", cfg.Algorithm)
+	}
+	if cfg.Algorithm != AlgOptimal && cfg.Algorithm != AlgRandom && cfg.Algorithm != AlgStatic {
+		if cfg.ProbingRatio <= 0 || cfg.ProbingRatio > 1 {
+			return nil, fmt.Errorf("core: probing ratio %v out of (0, 1]", cfg.ProbingRatio)
+		}
+	}
+	if cfg.HoldTTL <= 0 {
+		return nil, fmt.Errorf("core: HoldTTL %v <= 0", cfg.HoldTTL)
+	}
+	if cfg.MaxProbesPerRequest == 0 {
+		cfg.MaxProbesPerRequest = DefaultConfig().MaxProbesPerRequest
+	}
+	if cfg.MaxProbesPerRequest < 0 {
+		return nil, fmt.Errorf("core: MaxProbesPerRequest %d < 0", cfg.MaxProbesPerRequest)
+	}
+	if cfg.Selection == 0 {
+		if cfg.Algorithm == AlgRP {
+			cfg.Selection = SelectRandom
+		} else {
+			cfg.Selection = SelectRiskThenCongestion
+		}
+	}
+	return &Composer{env: env, cfg: cfg}, nil
+}
+
+// Config returns the composer's effective configuration.
+func (c *Composer) Config() Config { return c.cfg }
+
+// Algorithm returns the composer's algorithm.
+func (c *Composer) Algorithm() Algorithm { return c.cfg.Algorithm }
+
+// SetProbingRatio adjusts alpha; the probing-ratio tuner calls this as
+// system conditions change (§3.4).
+func (c *Composer) SetProbingRatio(alpha float64) error {
+	if alpha <= 0 || alpha > 1 {
+		return fmt.Errorf("core: probing ratio %v out of (0, 1]", alpha)
+	}
+	c.cfg.ProbingRatio = alpha
+	return nil
+}
+
+// ProbingRatio returns the current alpha.
+func (c *Composer) ProbingRatio() float64 { return c.cfg.ProbingRatio }
+
+// Probe runs the composition protocol for one request and returns the
+// decision. On success the winning composition's resources are covered by
+// transient holds (when enabled) awaiting Commit; on failure all of the
+// request's holds have been released.
+func (c *Composer) Probe(req *component.Request) (*Outcome, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if req.Client < 0 || req.Client >= c.env.Mesh.NumNodes() {
+		return nil, fmt.Errorf("core: request %d client %d out of range", req.ID, req.Client)
+	}
+	switch c.cfg.Algorithm {
+	case AlgRandom, AlgStatic:
+		return c.probeDirect(req)
+	default:
+		return c.probeWalk(req)
+	}
+}
+
+// Commit makes a successful outcome's composition permanent: transient
+// holds become a session allocation and confirmation messages are
+// charged (§3.3 step 4). The session is registered under the request ID;
+// release it with Release when the application closes.
+func (c *Composer) Commit(o *Outcome) error {
+	if o == nil || o.Best == nil {
+		return fmt.Errorf("core: commit of unsuccessful outcome")
+	}
+	nodes, links := c.demands(o.Request, o.Best)
+	if err := c.env.Ledger.CommitSession(state.Owner(o.Request.ID), nodes, links); err != nil {
+		return fmt.Errorf("request %d: %w", o.Request.ID, err)
+	}
+	c.env.Counters.Confirmations += int64(len(o.Best.Components))
+	return nil
+}
+
+// Release tears down a committed session (§2.2 Close).
+func (c *Composer) Release(requestID int64) {
+	c.env.Ledger.ReleaseSession(state.Owner(requestID))
+}
+
+// Abort releases any transient holds still owned by the request, e.g.
+// when the caller decides not to commit a successful outcome.
+func (c *Composer) Abort(requestID int64) {
+	c.env.Ledger.ReleaseOwner(state.Owner(requestID))
+}
+
+// demands folds a composition into per-node resource and per-overlay-link
+// bandwidth demands. Components of the same request sharing a node stack
+// their requirements (footnote 5); virtual links sharing an overlay link
+// stack their bandwidth; co-located virtual links consume nothing
+// (footnote 4).
+func (c *Composer) demands(req *component.Request, comp *Composition) (map[int]qos.Resources, map[int]float64) {
+	nodes := make(map[int]qos.Resources)
+	for pos, id := range comp.Components {
+		node := c.env.Catalog.Component(id).Node
+		nodes[node] = nodes[node].Add(req.ResReq[pos])
+	}
+	links := make(map[int]float64)
+	for _, route := range comp.Routes {
+		if route.CoLocated {
+			continue
+		}
+		for _, link := range route.Links {
+			links[link] += req.BandwidthReq
+		}
+	}
+	return nodes, links
+}
+
+// phi computes the congestion aggregation metric (Eq. 1) for a candidate
+// assignment against owner-credited precise availability: each component
+// contributes sum_k r_k/(rr_k + r_k) with rr the node's residual after
+// ALL of this request's placements there (footnote 5), and each virtual
+// link contributes b/(rb + b) with rb the bottleneck residual bandwidth
+// after this request's reservations (0 for co-located links, footnote 8).
+func (c *Composer) phi(req *component.Request, comps []component.ComponentID, routes []overlay.Route,
+	nodes map[int]qos.Resources, links map[int]float64) float64 {
+
+	owner := state.Owner(req.ID)
+	residualNode := make(map[int]qos.Resources, len(nodes))
+	for node, demand := range nodes {
+		residualNode[node] = c.env.Ledger.NodeAvailableFor(owner, node).Sub(demand)
+	}
+	total := 0.0
+	for pos, id := range comps {
+		node := c.env.Catalog.Component(id).Node
+		total += qos.CongestionTerm(req.ResReq[pos], residualNode[node])
+	}
+	for _, route := range routes {
+		residual := math.Inf(1)
+		if !route.CoLocated {
+			for _, link := range route.Links {
+				r := c.env.Ledger.LinkAvailableFor(owner, link) - links[link]
+				residual = math.Min(residual, r)
+			}
+		}
+		total += qos.BandwidthCongestionTerm(req.BandwidthReq, residual)
+	}
+	return total
+}

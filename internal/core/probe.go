@@ -1,0 +1,544 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/overlay"
+	"repro/internal/qos"
+	"repro/internal/state"
+)
+
+// probeState is the state a (logical) probe carries while walking the
+// function graph in topological order: the partial component assignment,
+// the QoS accumulated over assigned components and the virtual links
+// between them, and the probe's own travel time. Physically the paper's
+// probes fork at split points and merge at the deputy (Figure 2); walking
+// partial assignments in topological order produces the same component
+// graphs, the same per-hop checks, and the same number of probe
+// transmissions, with the branch merge performed incrementally.
+type probeState struct {
+	comps   []component.ComponentID // per position; valid for assigned set
+	acc     qos.Vector
+	latency float64 // ms travelled
+}
+
+// walkState tracks per-request probing context.
+type walkState struct {
+	req        *component.Request
+	owner      state.Owner
+	expires    time.Duration
+	budget     int // remaining probe sends (MaxProbesPerRequest)
+	maxLatency float64
+	candidates map[component.FunctionID][]component.ComponentID
+	routes     map[[2]int]overlay.Route
+}
+
+func (c *Composer) newWalkState(req *component.Request) *walkState {
+	return &walkState{
+		req:        req,
+		owner:      state.Owner(req.ID),
+		expires:    c.env.Now() + c.cfg.HoldTTL,
+		budget:     c.cfg.MaxProbesPerRequest,
+		candidates: make(map[component.FunctionID][]component.ComponentID),
+		routes:     make(map[[2]int]overlay.Route),
+	}
+}
+
+// lookup resolves a function's candidates, caching per request so the
+// discovery system is charged once per function (§3.3 step 2).
+func (w *walkState) lookup(c *Composer, f component.FunctionID) []component.ComponentID {
+	if ids, ok := w.candidates[f]; ok {
+		return ids
+	}
+	ids := c.env.Registry.Lookup(f)
+	w.candidates[f] = ids
+	return ids
+}
+
+// route returns the virtual link between two overlay nodes, cached per
+// request: probe trees revisit the same node pairs many times.
+func (w *walkState) route(c *Composer, from, to int) overlay.Route {
+	key := [2]int{from, to}
+	if r, ok := w.routes[key]; ok {
+		return r
+	}
+	r, ok := c.env.Mesh.RouteBetween(from, to)
+	if !ok {
+		// Build keeps the overlay connected; an unreachable pair would
+		// indicate a hand-assembled mesh. Mark it infeasible.
+		r = overlay.Route{QoS: qos.Vector{Delay: math.Inf(1), LossCost: math.Inf(1)}}
+	}
+	w.routes[key] = r
+	return r
+}
+
+// probeWalk runs the hop-by-hop probing protocol (Figure 3) for the
+// probing algorithms (ACP, Optimal, SP, RP): extend probes position by
+// position in topological order, applying per-hop candidate selection,
+// conformance checking and transient allocation, then select the best
+// qualified composition at the deputy.
+func (c *Composer) probeWalk(req *component.Request) (*Outcome, error) {
+	w := c.newWalkState(req)
+	out := &Outcome{Request: req}
+
+	order, err := req.Graph.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	// Exhaustive-search accounting: the paper measures Optimal's
+	// overhead as "the number of probes required by the exhaustive
+	// search" (§4.2) — the full candidate tree, independent of the sound
+	// early pruning our walk applies (dropping a probe whose prefix is
+	// already unqualified cannot change which composition wins). Charge
+	// that full cost up front and skip per-send counting below.
+	exhaustive := c.cfg.Algorithm == AlgOptimal
+	if exhaustive {
+		total, width := int64(0), int64(1)
+		for _, pos := range order {
+			k := int64(len(w.lookup(c, req.Graph.Functions[pos])))
+			width *= k
+			if width > 1<<40 {
+				width = 1 << 40 // clamp pathological fan-out
+			}
+			total += width
+		}
+		c.env.Counters.Probes += total
+		out.ProbesSent = int(total)
+	}
+
+	// Probes expand depth-first: a probe tree in the real protocol fans
+	// out in parallel, but expansion order does not change which
+	// extensions happen or how many messages are sent — except when the
+	// probe budget binds, where depth-first guarantees the budget is
+	// spent completing compositions rather than stranding every probe
+	// mid-graph.
+	var alive []probeState
+	var expand func(p probeState, idx int)
+	expand = func(p probeState, idx int) {
+		if idx == len(order) {
+			alive = append(alive, p)
+			return
+		}
+		for _, child := range c.extendProbe(w, out, p, order[idx], idx == 0) {
+			expand(child, idx+1)
+		}
+	}
+	expand(probeState{comps: make([]component.ComponentID, req.Graph.NumPositions())}, 0)
+
+	// Complete probes travel back to the deputy (§3.3 step 3).
+	lastPos := 0
+	if len(order) > 0 {
+		lastPos = order[len(order)-1]
+	}
+	for _, p := range alive {
+		node := c.env.Catalog.Component(p.comps[lastPos]).Node
+		if l := p.latency + w.route(c, node, req.Client).QoS.Delay; l > w.maxLatency {
+			w.maxLatency = l
+		}
+	}
+	c.env.Counters.ProbeReturns += int64(len(alive))
+	out.PathsReturned = len(alive)
+
+	best, qualified := c.selectBest(w, alive)
+	out.Qualified = qualified
+	out.Latency = 2 * time.Duration(w.maxLatency*float64(time.Millisecond))
+
+	if best == nil {
+		c.env.Ledger.ReleaseOwner(w.owner)
+		return out, nil
+	}
+	// The deputy has decided: cancel the transient allocations of every
+	// losing probe and keep only the winning composition reserved until
+	// the confirmation message arrives (§3.3 step 4). Without this,
+	// loser holds would squat on candidate nodes for the full timeout,
+	// starving concurrent requests in proportion to the probe fan-out.
+	c.env.Ledger.ReleaseOwner(w.owner)
+	if c.cfg.TransientAllocation {
+		if !c.holdComposition(w, best) {
+			c.env.Ledger.ReleaseOwner(w.owner)
+			return out, nil
+		}
+	}
+	out.Best = best
+	return out, nil
+}
+
+// holdComposition places aggregated transient holds covering exactly one
+// composition's demands. It reports false if any hold cannot be placed
+// (impossible within a single probing walk, but defended regardless).
+func (c *Composer) holdComposition(w *walkState, comp *Composition) bool {
+	nodes, links := c.demands(w.req, comp)
+	for node, amount := range nodes {
+		if !c.env.Ledger.HoldNode(w.owner, 0, node, amount, w.expires) {
+			return false
+		}
+	}
+	for link, bw := range links {
+		if !c.env.Ledger.HoldLink(w.owner, 0, link, bw, w.expires) {
+			return false
+		}
+	}
+	return true
+}
+
+// predecessorRoutes collects the virtual links from each already-assigned
+// predecessor of pos to the candidate node, accumulating their QoS. The
+// bool result is false if any predecessor link cannot carry the
+// bandwidth requirement per the given availability function.
+func (c *Composer) predecessorRoutes(w *walkState, p probeState, pos, candNode int) ([]overlay.Route, qos.Vector) {
+	preds := w.req.Graph.Predecessors(pos)
+	routes := make([]overlay.Route, len(preds))
+	var linkQoS qos.Vector
+	for i, pred := range preds {
+		from := c.env.Catalog.Component(p.comps[pred]).Node
+		routes[i] = w.route(c, from, candNode)
+		linkQoS = linkQoS.Add(routes[i].QoS)
+	}
+	return routes, linkQoS
+}
+
+// extendProbe performs one hop of per-hop probe processing (§3.3 step 2)
+// for probe p choosing a component for graph position pos: discover
+// candidates, select which to probe, send child probes, apply the
+// precise conformance check and transient allocation at each candidate,
+// and return the surviving child probes. isSource marks the graph's
+// source position, whose probe hop starts from the deputy node.
+func (c *Composer) extendProbe(w *walkState, out *Outcome, p probeState, pos int, isSource bool) []probeState {
+	fn := w.req.Graph.Functions[pos]
+	candidates := w.lookup(c, fn)
+	if len(candidates) == 0 {
+		return nil
+	}
+	selected := c.selectCandidates(w, p, pos, candidates)
+
+	var children []probeState
+	for _, id := range selected {
+		if w.budget <= 0 {
+			break
+		}
+		w.budget--
+		// Sending the probe to the candidate costs one message whether
+		// or not the candidate turns out to qualify. Optimal's full
+		// exhaustive cost was charged up front in probeWalk.
+		if c.cfg.Algorithm != AlgOptimal {
+			c.env.Counters.Probes++
+			out.ProbesSent++
+		}
+
+		cand := c.env.Catalog.Component(id)
+		routes, linkQoS := c.predecessorRoutes(w, p, pos, cand.Node)
+		acc := p.acc.Add(linkQoS).Add(cand.QoS)
+
+		// The probe physically travels from the previous hop's node (the
+		// deputy for the source position).
+		travelFrom := w.req.Client
+		if !isSource {
+			travelFrom = c.env.Catalog.Component(p.comps[w.req.Graph.Predecessors(pos)[0]]).Node
+		}
+		latency := p.latency + w.route(c, travelFrom, cand.Node).QoS.Delay
+		if latency > w.maxLatency {
+			w.maxLatency = latency
+		}
+
+		// Precise conformance check at the candidate's node: accumulated
+		// QoS against the user requirement (Eq. 6), application-specific
+		// constraints (security level, §6), and precise local resource
+		// states (Eqs. 7-8). Unqualified probes are dropped immediately
+		// to reduce probing overhead.
+		if acc.MaxRatio(w.req.QoSReq) > 1 {
+			continue
+		}
+		if cand.Security < w.req.MinSecurity {
+			continue
+		}
+		if !c.env.Ledger.NodeAvailableFor(w.owner, cand.Node).Covers(w.req.ResReq[pos]) {
+			continue
+		}
+		feasible := true
+		for _, route := range routes {
+			if c.env.Ledger.RouteAvailableFor(w.owner, route) < w.req.BandwidthReq {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+
+		// Transient resource allocation (§3.3 step 2): reserve once per
+		// component (tag = position) and per virtual link hop. A probe
+		// that cannot secure its allocation is dropped.
+		if c.cfg.TransientAllocation {
+			if !c.env.Ledger.HoldNode(w.owner, pos, cand.Node, w.req.ResReq[pos], w.expires) {
+				continue
+			}
+			held := true
+			for _, route := range routes {
+				for _, link := range route.Links {
+					// Link holds are tagged by position so distinct
+					// edges of the same request stack correctly.
+					if !c.env.Ledger.HoldLink(w.owner, pos, link, w.req.BandwidthReq, w.expires) {
+						held = false
+						break
+					}
+				}
+				if !held {
+					break
+				}
+			}
+			if !held {
+				continue
+			}
+		}
+
+		comps := make([]component.ComponentID, len(p.comps))
+		copy(comps, p.comps)
+		comps[pos] = id
+		children = append(children, probeState{comps: comps, acc: acc, latency: latency})
+	}
+	return children
+}
+
+// selectCandidates picks the M = ceil(alpha*k) next-hop candidates to
+// probe (§3.5). For Optimal every candidate is probed. For the guided
+// policies the coarse global state prefilters unqualified candidates
+// (Eqs. 6-8) and ranks survivors by the risk function D (Eq. 9) and the
+// congestion function W (Eq. 10); SelectRandom (RP) picks uniformly
+// without consulting the global state.
+func (c *Composer) selectCandidates(w *walkState, p probeState, pos int, candidates []component.ComponentID) []component.ComponentID {
+	if c.cfg.Algorithm == AlgOptimal {
+		return candidates
+	}
+	m := int(math.Ceil(c.cfg.ProbingRatio * float64(len(candidates))))
+	if m < 1 {
+		m = 1
+	}
+
+	if c.cfg.Selection == SelectRandom {
+		if m >= len(candidates) {
+			return candidates
+		}
+		picked := make([]component.ComponentID, len(candidates))
+		copy(picked, candidates)
+		c.env.Rand.Shuffle(len(picked), func(i, j int) { picked[i], picked[j] = picked[j], picked[i] })
+		return picked[:m]
+	}
+
+	type ranked struct {
+		id   component.ComponentID
+		risk float64
+		cong float64
+	}
+	qualified := make([]ranked, 0, len(candidates))
+	for _, id := range candidates {
+		cand := c.env.Catalog.Component(id)
+		if cand.Security < w.req.MinSecurity {
+			continue
+		}
+		routes, linkQoS := c.predecessorRoutes(w, p, pos, cand.Node)
+
+		// Coarse-grain qualification (Eqs. 6-8) from the global state.
+		acc := p.acc.Add(linkQoS).Add(cand.QoS)
+		risk := acc.MaxRatio(w.req.QoSReq)
+		if risk > 1 {
+			continue
+		}
+		avail := c.env.Global.NodeAvailable(cand.Node)
+		if !avail.Covers(w.req.ResReq[pos]) {
+			continue
+		}
+		routeBW := math.Inf(1)
+		for _, route := range routes {
+			routeBW = math.Min(routeBW, c.env.Global.RouteAvailable(route))
+		}
+		if routeBW < w.req.BandwidthReq {
+			continue
+		}
+
+		// Congestion function W (Eq. 10) on coarse residuals.
+		cong := qos.CongestionTerm(w.req.ResReq[pos], avail.Sub(w.req.ResReq[pos])) +
+			qos.BandwidthCongestionTerm(w.req.BandwidthReq, routeBW-w.req.BandwidthReq)
+		qualified = append(qualified, ranked{id: id, risk: risk, cong: cong})
+	}
+	if len(qualified) <= m {
+		out := make([]component.ComponentID, len(qualified))
+		for i, q := range qualified {
+			out[i] = q.id
+		}
+		return out
+	}
+
+	less := c.rankLess()
+	sort.SliceStable(qualified, func(i, j int) bool {
+		return less(qualified[i].risk, qualified[i].cong, qualified[j].risk, qualified[j].cong)
+	})
+	out := make([]component.ComponentID, m)
+	for i := 0; i < m; i++ {
+		out[i] = qualified[i].id
+	}
+	return out
+}
+
+// rankLess returns the comparison for the configured selection policy.
+// The paper compares risk values first and falls back to the congestion
+// function when risks are similar; "similar" is a 5% relative band.
+func (c *Composer) rankLess() func(ri, ci, rj, cj float64) bool {
+	const band = 0.05
+	switch c.cfg.Selection {
+	case SelectRiskOnly:
+		return func(ri, _, rj, _ float64) bool { return ri < rj }
+	case SelectCongestionOnly:
+		return func(_, ci, _, cj float64) bool { return ci < cj }
+	default: // SelectRiskThenCongestion
+		return func(ri, ci, rj, cj float64) bool {
+			if math.Abs(ri-rj) > band*math.Max(ri, rj) {
+				return ri < rj
+			}
+			return ci < cj
+		}
+	}
+}
+
+// selectBest evaluates complete probes against the constraints
+// (Eqs. 2-5) using precise probed state and returns the winner: the
+// phi-minimal qualified composition for ACP/Optimal/RP, or a random
+// qualified one for SP. It also reports how many probes qualified.
+func (c *Composer) selectBest(w *walkState, complete []probeState) (*Composition, int) {
+	var (
+		best      *Composition
+		qualified int
+	)
+	for _, p := range complete {
+		comp, ok := c.evaluate(w, p.comps)
+		if !ok {
+			continue
+		}
+		qualified++
+		switch {
+		case best == nil:
+			best = comp
+		case c.cfg.Algorithm == AlgSP:
+			// Reservoir-sample uniformly among qualified compositions.
+			if c.env.Rand.Intn(qualified) == 0 {
+				best = comp
+			}
+		case comp.Phi < best.Phi:
+			best = comp
+		}
+	}
+	return best, qualified
+}
+
+// evaluate builds the full composition for an assignment and checks the
+// optimization constraints: function coverage is structural (Eq. 2), the
+// aggregated QoS must satisfy the requirement (Eq. 3), and residual node
+// resources and link bandwidths must stay non-negative (Eqs. 4-5)
+// against the request's own-credited precise availability.
+func (c *Composer) evaluate(w *walkState, assign []component.ComponentID) (*Composition, bool) {
+	req := w.req
+	comp := &Composition{
+		Components: assign,
+		Routes:     make([]overlay.Route, len(req.Graph.Edges)),
+	}
+	for _, id := range assign {
+		chosen := c.env.Catalog.Component(id)
+		if chosen.Security < req.MinSecurity {
+			return nil, false
+		}
+		comp.QoS = comp.QoS.Add(chosen.QoS)
+	}
+	for i, e := range req.Graph.Edges {
+		from := c.env.Catalog.Component(assign[e.From]).Node
+		to := c.env.Catalog.Component(assign[e.To]).Node
+		route := w.route(c, from, to)
+		comp.Routes[i] = route
+		comp.QoS = comp.QoS.Add(route.QoS)
+	}
+	if comp.QoS.MaxRatio(req.QoSReq) > 1 {
+		return nil, false
+	}
+
+	nodes, links := c.demands(req, comp)
+	for node, demand := range nodes {
+		if !c.env.Ledger.NodeAvailableFor(w.owner, node).Covers(demand) {
+			return nil, false
+		}
+	}
+	for link, bw := range links {
+		if c.env.Ledger.LinkAvailableFor(w.owner, link) < bw {
+			return nil, false
+		}
+	}
+	comp.Phi = c.phi(req, assign, comp.Routes, nodes, links)
+	return comp, true
+}
+
+// probeDirect implements the Random and Static heuristics: choose one
+// candidate per position outright, verify the composition with a single
+// probe along it, and use it if qualified.
+func (c *Composer) probeDirect(req *component.Request) (*Outcome, error) {
+	w := c.newWalkState(req)
+	out := &Outcome{Request: req}
+
+	n := req.Graph.NumPositions()
+	assign := make([]component.ComponentID, n)
+	for pos := 0; pos < n; pos++ {
+		candidates := w.lookup(c, req.Graph.Functions[pos])
+		if len(candidates) == 0 {
+			return out, nil
+		}
+		switch c.cfg.Algorithm {
+		case AlgRandom:
+			assign[pos] = candidates[c.env.Rand.Intn(len(candidates))]
+		default: // AlgStatic: a fixed choice per function
+			assign[pos] = candidates[0]
+		}
+	}
+
+	// One verification probe visits each chosen component in turn.
+	c.env.Counters.Probes += int64(n)
+	out.ProbesSent = n
+	prev := req.Client
+	latency := 0.0
+	for _, id := range assign {
+		node := c.env.Catalog.Component(id).Node
+		latency += w.route(c, prev, node).QoS.Delay
+		prev = node
+	}
+	latency += w.route(c, prev, req.Client).QoS.Delay
+	w.maxLatency = latency
+	c.env.Counters.ProbeReturns++
+	out.PathsReturned = 1
+	out.Latency = 2 * time.Duration(w.maxLatency*float64(time.Millisecond))
+
+	comp, ok := c.evaluate(w, assign)
+	if !ok {
+		return out, nil
+	}
+	if c.cfg.TransientAllocation {
+		// The verification probe transiently reserves what it visits so
+		// the allocation survives until the confirmation arrives.
+		for pos, id := range assign {
+			node := c.env.Catalog.Component(id).Node
+			if !c.env.Ledger.HoldNode(w.owner, pos, node, req.ResReq[pos], w.expires) {
+				c.env.Ledger.ReleaseOwner(w.owner)
+				return out, nil
+			}
+		}
+		for i, route := range comp.Routes {
+			for _, link := range route.Links {
+				if !c.env.Ledger.HoldLink(w.owner, i, link, req.BandwidthReq, w.expires) {
+					c.env.Ledger.ReleaseOwner(w.owner)
+					return out, nil
+				}
+			}
+		}
+	}
+	out.Qualified = 1
+	out.Best = comp
+	return out, nil
+}

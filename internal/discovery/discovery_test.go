@@ -1,0 +1,94 @@
+package discovery
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/component"
+	"repro/internal/metrics"
+)
+
+func testCatalog(t *testing.T) *component.Catalog {
+	t.Helper()
+	cat, err := component.Place(160, component.DefaultPlacementConfig(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestLookupReturnsCandidates(t *testing.T) {
+	cat := testCatalog(t)
+	reg := NewRegistry(cat, 160, nil)
+	for f := 0; f < cat.NumFunctions(); f++ {
+		got := reg.Lookup(component.FunctionID(f))
+		want := cat.Candidates(component.FunctionID(f))
+		if len(got) != len(want) {
+			t.Fatalf("function %d: %d candidates, want %d", f, len(got), len(want))
+		}
+		for _, id := range got {
+			if cat.Component(id).Function != component.FunctionID(f) {
+				t.Fatalf("lookup(%d) returned component of function %d", f, cat.Component(id).Function)
+			}
+		}
+	}
+}
+
+func TestLookupAccounting(t *testing.T) {
+	cat := testCatalog(t)
+	var c metrics.Counters
+	reg := NewRegistry(cat, 256, &c)
+	if reg.LookupCost() != 8 { // log2(256)
+		t.Errorf("LookupCost = %d, want 8", reg.LookupCost())
+	}
+	reg.Lookup(0)
+	reg.Lookup(1)
+	if c.Discovery != 16 {
+		t.Errorf("Discovery = %d, want 16", c.Discovery)
+	}
+}
+
+func TestLookupCostSmallSystems(t *testing.T) {
+	cat := testCatalog(t)
+	if got := NewRegistry(cat, 1, nil).LookupCost(); got != 1 {
+		t.Errorf("LookupCost(1 node) = %d, want 1", got)
+	}
+	if got := NewRegistry(cat, 0, nil).LookupCost(); got != 1 {
+		t.Errorf("LookupCost(0 nodes) = %d, want 1", got)
+	}
+}
+
+func TestLookupUnknownFunction(t *testing.T) {
+	cat := testCatalog(t)
+	reg := NewRegistry(cat, 160, nil)
+	if got := reg.Lookup(component.FunctionID(-1)); got != nil {
+		t.Errorf("Lookup(-1) = %v, want nil", got)
+	}
+}
+
+func TestLookupFiltersDownNodes(t *testing.T) {
+	cat := testCatalog(t)
+	reg := NewRegistry(cat, 160, nil)
+	f := component.FunctionID(0)
+	before := len(reg.Lookup(f))
+	if before == 0 {
+		t.Fatal("no candidates for function 0")
+	}
+	// Take one candidate's node down: it must vanish from lookups.
+	victim := cat.Candidates(f)[0]
+	cat.SetNodeAvailable(cat.Component(victim).Node, false)
+	after := reg.Lookup(f)
+	if len(after) >= before {
+		t.Fatalf("lookup returned %d candidates with a node down, had %d", len(after), before)
+	}
+	for _, id := range after {
+		if id == victim {
+			t.Error("candidate on a down node still returned")
+		}
+	}
+	// Repair restores it.
+	cat.SetNodeAvailable(cat.Component(victim).Node, true)
+	if got := len(reg.Lookup(f)); got != before {
+		t.Errorf("lookup after repair = %d, want %d", got, before)
+	}
+}

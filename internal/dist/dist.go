@@ -1,0 +1,346 @@
+// Package dist is the distributed execution of the ACP protocol: one
+// goroutine per overlay node, communicating only by messages — probes
+// fan out across node mailboxes exactly as they fan out across hosts in
+// the paper's PlanetLab prototype, resource state is sharded (each node
+// owns its own end-system ledger; each overlay link's bandwidth agent
+// lives at one endpoint), and the coarse global state is a per-node view
+// updated by best-effort broadcast.
+//
+// The deterministic simulator (internal/core + internal/experiment)
+// answers "does the algorithm behave as the paper claims"; this package
+// answers "does the protocol actually work as a concurrent distributed
+// system" — races, interleavings, timeouts, and all. Both execute the
+// same per-hop rules (Figure 3).
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/overlay"
+	"repro/internal/qos"
+	"repro/internal/topology"
+)
+
+// ErrNoComposition is returned when no qualified composition was found
+// before the probe collection deadline.
+var ErrNoComposition = errors.New("dist: no qualified component composition")
+
+// ErrClosed is returned after Shutdown.
+var ErrClosed = errors.New("dist: cluster is shut down")
+
+// Config sizes a distributed cluster.
+type Config struct {
+	// Seed drives substrate generation.
+	Seed int64
+	// IPNodes, OverlayNodes, NeighborsPerNode size the network.
+	IPNodes          int
+	OverlayNodes     int
+	NeighborsPerNode int
+	// NumFunctions and ComponentsPerNode control the deployment.
+	NumFunctions      int
+	ComponentsPerNode int
+	// NodeCapacity is each node's end-system resource capacity.
+	NodeCapacity qos.Resources
+	// ProbingRatio is alpha for per-hop candidate selection.
+	ProbingRatio float64
+	// CollectTimeout is how long a deputy waits for probe returns before
+	// deciding. In-process hops take microseconds; the default of 50ms
+	// absorbs scheduler jitter even under the race detector.
+	CollectTimeout time.Duration
+	// HoldTTL is the transient allocation timeout (§3.3 step 2).
+	HoldTTL time.Duration
+	// UpdateThreshold is the coarse global-state drift trigger (§3.2).
+	UpdateThreshold float64
+	// MailboxSize bounds each node's message queue.
+	MailboxSize int
+}
+
+// DefaultConfig returns a test-sized distributed cluster.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		IPNodes:           256,
+		OverlayNodes:      32,
+		NeighborsPerNode:  5,
+		NumFunctions:      8,
+		ComponentsPerNode: 2,
+		NodeCapacity:      qos.Resources{CPU: 100, Memory: 1000},
+		ProbingRatio:      0.5,
+		CollectTimeout:    50 * time.Millisecond,
+		HoldTTL:           2 * time.Second,
+		UpdateThreshold:   0.10,
+		MailboxSize:       1024,
+	}
+}
+
+// Composition is the decided component graph with its load metric.
+type Composition struct {
+	Components []component.ComponentID
+	Phi        float64
+	QoS        qos.Vector
+
+	owner int64 // internal request ID the session was committed under
+}
+
+// Cluster runs the distributed protocol.
+type Cluster struct {
+	cfg     Config
+	mesh    *overlay.Mesh
+	catalog *component.Catalog
+	nodes   []*node
+	links   *linkTable
+
+	mu      sync.Mutex
+	nextReq int64
+	closed  bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New builds the substrate and starts one goroutine per overlay node.
+// Call Shutdown to stop them.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.ProbingRatio <= 0 || cfg.ProbingRatio > 1 {
+		return nil, fmt.Errorf("dist: probing ratio %v out of (0, 1]", cfg.ProbingRatio)
+	}
+	if cfg.CollectTimeout <= 0 || cfg.HoldTTL <= 0 {
+		return nil, fmt.Errorf("dist: non-positive timeout")
+	}
+	if cfg.MailboxSize < 16 {
+		cfg.MailboxSize = 16
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	tcfg := topology.DefaultConfig()
+	tcfg.Nodes = cfg.IPNodes
+	graph, err := topology.Generate(tcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	ocfg := overlay.DefaultConfig()
+	ocfg.Nodes = cfg.OverlayNodes
+	ocfg.NeighborsPerNode = cfg.NeighborsPerNode
+	mesh, err := overlay.Build(graph, ocfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := component.DefaultPlacementConfig()
+	pcfg.NumFunctions = cfg.NumFunctions
+	pcfg.ComponentsPerNode = cfg.ComponentsPerNode
+	catalog, err := component.Place(mesh.NumNodes(), pcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		cfg:     cfg,
+		mesh:    mesh,
+		catalog: catalog,
+		links:   newLinkTable(mesh),
+		done:    make(chan struct{}),
+	}
+	c.nodes = make([]*node, mesh.NumNodes())
+	for id := range c.nodes {
+		c.nodes[id] = newNode(c, id, rand.New(rand.NewSource(cfg.Seed*7919+int64(id))))
+	}
+	for _, n := range c.nodes {
+		c.wg.Add(1)
+		go func(n *node) {
+			defer c.wg.Done()
+			n.run()
+		}(n)
+	}
+	return c, nil
+}
+
+// NumNodes returns the overlay size.
+func (c *Cluster) NumNodes() int { return c.mesh.NumNodes() }
+
+// Compose runs the distributed ACP protocol for one request: the client
+// node acts as deputy, probes fan out across node goroutines, and the
+// phi-minimal qualified composition is committed. Safe for concurrent
+// use; concurrent requests contend through transient allocations exactly
+// as in the paper.
+func (c *Cluster) Compose(req *component.Request) (*Composition, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if req.Client < 0 || req.Client >= len(c.nodes) {
+		return nil, fmt.Errorf("dist: client %d out of range", req.Client)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextReq++
+	reqID := c.nextReq
+	c.mu.Unlock()
+
+	// Private request copy with a cluster-unique ID: transient holds and
+	// session records key on it.
+	r := *req
+	r.ID = reqID
+
+	reply := make(chan composeReply, 1)
+	if !c.nodes[r.Client].send(composeMsg{req: &r, reply: reply}) {
+		return nil, fmt.Errorf("dist: deputy node %d mailbox overloaded", r.Client)
+	}
+	select {
+	case out := <-reply:
+		return out.comp, out.err
+	case <-c.done:
+		return nil, ErrClosed
+	}
+}
+
+// Release tears down a composed session, freeing its resources on every
+// node and link that carries it. The composition remembers the internal
+// request identity it was committed under.
+func (c *Cluster) Release(req *component.Request, comp *Composition) {
+	if comp == nil {
+		return
+	}
+	demands := c.demandsOf(req, comp.Components)
+	for nodeID, amount := range demands.nodes {
+		c.nodes[nodeID].send(releaseMsg{owner: comp.owner, amount: amount})
+	}
+	c.links.release(demands.links)
+}
+
+// Shutdown stops every node goroutine and waits for them to exit.
+func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.done)
+	c.mu.Unlock()
+	for _, n := range c.nodes {
+		close(n.quit)
+	}
+	c.wg.Wait()
+}
+
+// demands aggregates a composition's per-node resource and per-link
+// bandwidth needs (footnotes 4, 5, 8 of the paper).
+type demands struct {
+	nodes map[int]qos.Resources
+	links map[int]float64
+}
+
+func (c *Cluster) demandsOf(req *component.Request, assign []component.ComponentID) demands {
+	d := demands{nodes: make(map[int]qos.Resources), links: make(map[int]float64)}
+	for pos, id := range assign {
+		nodeID := c.catalog.Component(id).Node
+		d.nodes[nodeID] = d.nodes[nodeID].Add(req.ResReq[pos])
+	}
+	for _, e := range req.Graph.Edges {
+		from := c.catalog.Component(assign[e.From]).Node
+		to := c.catalog.Component(assign[e.To]).Node
+		route, ok := c.mesh.RouteBetween(from, to)
+		if !ok || route.CoLocated {
+			continue
+		}
+		for _, link := range route.Links {
+			d.links[link] += req.BandwidthReq
+		}
+	}
+	return d
+}
+
+// linkTable is the bandwidth state of every overlay link. Each entry is
+// guarded by its own mutex — the in-process stand-in for the link-state
+// agent co-located at one link endpoint.
+type linkTable struct {
+	capacity  []float64
+	mu        []sync.Mutex
+	available []float64
+}
+
+func newLinkTable(mesh *overlay.Mesh) *linkTable {
+	t := &linkTable{
+		capacity:  make([]float64, mesh.NumLinks()),
+		mu:        make([]sync.Mutex, mesh.NumLinks()),
+		available: make([]float64, mesh.NumLinks()),
+	}
+	for i := range t.capacity {
+		t.capacity[i] = mesh.Link(i).Capacity
+		t.available[i] = t.capacity[i]
+	}
+	return t
+}
+
+// routeAvailable returns the bottleneck availability along a route.
+func (t *linkTable) routeAvailable(route overlay.Route) float64 {
+	if route.CoLocated {
+		return math.Inf(1)
+	}
+	avail := math.Inf(1)
+	for _, id := range route.Links {
+		t.mu[id].Lock()
+		a := t.available[id]
+		t.mu[id].Unlock()
+		avail = math.Min(avail, a)
+	}
+	return avail
+}
+
+// reserve atomically acquires bandwidth on every link or none.
+func (t *linkTable) reserve(links map[int]float64) bool {
+	ids := sortedKeys(links)
+	for i, id := range ids {
+		t.mu[id].Lock()
+		if t.available[id] < links[id] {
+			t.mu[id].Unlock()
+			// Roll back in reverse order.
+			for j := i - 1; j >= 0; j-- {
+				t.mu[ids[j]].Lock()
+				t.available[ids[j]] += links[ids[j]]
+				t.mu[ids[j]].Unlock()
+			}
+			return false
+		}
+		t.available[id] -= links[id]
+		t.mu[id].Unlock()
+	}
+	return true
+}
+
+func (t *linkTable) release(links map[int]float64) {
+	for id, bw := range links {
+		t.mu[id].Lock()
+		t.available[id] += bw
+		if t.available[id] > t.capacity[id] {
+			t.available[id] = t.capacity[id]
+		}
+		t.mu[id].Unlock()
+	}
+}
+
+func sortedKeys(m map[int]float64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ComponentNode reports which overlay node hosts a component (display
+// and monitoring hook; the placement is immutable).
+func (c *Cluster) ComponentNode(id component.ComponentID) int {
+	return c.catalog.Component(id).Node
+}

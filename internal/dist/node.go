@@ -1,0 +1,654 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/qos"
+)
+
+// message is the sum type flowing through node mailboxes.
+type message interface{}
+
+// composeMsg asks a node to act as deputy for a request (§3.3 step 1).
+type composeMsg struct {
+	req   *component.Request
+	reply chan composeReply
+}
+
+type composeReply struct {
+	comp *Composition
+	err  error
+}
+
+// probeMsg is one probe hop: the receiving node hosts the candidate
+// chosen for position order[idx] and performs per-hop processing
+// (§3.3 step 2).
+type probeMsg struct {
+	req    *component.Request
+	deputy int
+	idx    int // index into the topological order
+	chosen component.ComponentID
+	assign []component.ComponentID // positions order[0..idx-1] filled
+	acc    qos.Vector
+	avails []qos.Resources // availability observed at each assigned node
+}
+
+// returnMsg carries a complete probed composition back to the deputy
+// (§3.3 step 3).
+type returnMsg struct {
+	reqID  int64
+	assign []component.ComponentID
+	acc    qos.Vector
+	avails []qos.Resources
+}
+
+// decideMsg fires when the deputy's probe collection window closes.
+type decideMsg struct{ reqID int64 }
+
+// commitMsg makes a transient allocation permanent (§3.3 step 4).
+type commitMsg struct {
+	owner  int64
+	amount qos.Resources
+	deputy int
+	reqID  int64
+}
+
+// commitAckMsg reports a node's commit outcome to the deputy.
+type commitAckMsg struct {
+	reqID int64
+	node  int
+	ok    bool
+}
+
+// commitTimeoutMsg fires when commit acks are overdue.
+type commitTimeoutMsg struct{ reqID int64 }
+
+// releaseMsg frees committed resources (session close or rollback).
+type releaseMsg struct {
+	owner  int64
+	amount qos.Resources
+}
+
+// stateMsg is a coarse global-state update broadcast (§3.2).
+type stateMsg struct {
+	node  int
+	avail qos.Resources
+}
+
+// inspectMsg asks a node for its precise availability (monitoring and
+// test hook).
+type inspectMsg struct{ reply chan qos.Resources }
+
+type holdKey struct {
+	owner int64
+	pos   int
+}
+
+type hold struct {
+	amount  qos.Resources
+	expires time.Time
+}
+
+// pendingCompose is the deputy-side state of one in-flight request.
+type pendingCompose struct {
+	req     *component.Request
+	order   []int
+	reply   chan composeReply
+	returns []returnMsg
+	decided bool
+
+	// commit phase
+	comp       *Composition
+	needAcks   map[int]bool // node -> acked
+	ackedNodes map[int]qos.Resources
+	nodeDemand map[int]qos.Resources
+	linkDemand map[int]float64
+}
+
+// node is one stream processing host: a goroutine owning its end-system
+// resource state, its coarse view of everyone else, and its share of the
+// protocol.
+type node struct {
+	c       *Cluster
+	id      int
+	mailbox chan message
+	quit    chan struct{}
+	rng     *rand.Rand
+
+	capacity     qos.Resources
+	committed    qos.Resources
+	heldTotal    qos.Resources
+	holds        map[holdKey]hold
+	view         []qos.Resources
+	lastReported qos.Resources
+	pending      map[int64]*pendingCompose
+}
+
+func newNode(c *Cluster, id int, rng *rand.Rand) *node {
+	n := &node{
+		c:       c,
+		id:      id,
+		mailbox: make(chan message, c.cfg.MailboxSize),
+		quit:    make(chan struct{}),
+		rng:     rng,
+		holds:   make(map[holdKey]hold),
+		view:    make([]qos.Resources, c.mesh.NumNodes()),
+		pending: make(map[int64]*pendingCompose),
+	}
+	n.capacity = c.cfg.NodeCapacity
+	n.lastReported = n.capacity
+	for i := range n.view {
+		n.view[i] = c.cfg.NodeCapacity
+	}
+	return n
+}
+
+// send enqueues a message, reporting false if the mailbox is full. State
+// broadcasts tolerate drops (the view just goes stale); protocol
+// messages treat a full mailbox as an overloaded peer.
+func (n *node) send(m message) bool {
+	select {
+	case n.mailbox <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+// sendBlocking enqueues a message, waiting for mailbox space; it gives
+// up when the node shuts down. Used for the deputy's own timer events,
+// which must not be lost to a momentarily full mailbox.
+func (n *node) sendBlocking(m message) {
+	select {
+	case n.mailbox <- m:
+	case <-n.quit:
+	}
+}
+
+func (n *node) run() {
+	for {
+		select {
+		case <-n.quit:
+			return
+		case m := <-n.mailbox:
+			n.dispatch(m)
+		}
+	}
+}
+
+func (n *node) dispatch(m message) {
+	switch msg := m.(type) {
+	case composeMsg:
+		n.onCompose(msg)
+	case probeMsg:
+		n.onProbe(msg)
+	case returnMsg:
+		n.onReturn(msg)
+	case decideMsg:
+		n.onDecide(msg.reqID)
+	case commitMsg:
+		n.onCommit(msg)
+	case commitAckMsg:
+		n.onCommitAck(msg)
+	case commitTimeoutMsg:
+		n.onCommitTimeout(msg.reqID)
+	case releaseMsg:
+		n.onRelease(msg)
+	case stateMsg:
+		n.view[msg.node] = msg.avail
+	case inspectMsg:
+		msg.reply <- n.available()
+	}
+}
+
+// available returns this node's precise local availability.
+func (n *node) available() qos.Resources {
+	n.purgeHolds()
+	return n.capacity.Sub(n.committed).Sub(n.heldTotal)
+}
+
+// availableFor credits back the owner's own holds (the request must not
+// block on its own reservations).
+func (n *node) availableFor(owner int64) qos.Resources {
+	avail := n.available()
+	for key, h := range n.holds {
+		if key.owner == owner {
+			avail = avail.Add(h.amount)
+		}
+	}
+	return avail
+}
+
+func (n *node) purgeHolds() {
+	if len(n.holds) == 0 {
+		return
+	}
+	now := time.Now()
+	for key, h := range n.holds {
+		if !h.expires.After(now) {
+			n.heldTotal = n.heldTotal.Sub(h.amount)
+			delete(n.holds, key)
+		}
+	}
+}
+
+// holdFor places the transient allocation for (owner, pos); idempotent
+// per key (footnote 7).
+func (n *node) holdFor(owner int64, pos int, amount qos.Resources) bool {
+	key := holdKey{owner: owner, pos: pos}
+	if _, ok := n.holds[key]; ok {
+		return true
+	}
+	if !n.available().Covers(amount) {
+		return false
+	}
+	n.holds[key] = hold{amount: amount, expires: time.Now().Add(n.c.cfg.HoldTTL)}
+	n.heldTotal = n.heldTotal.Add(amount)
+	return true
+}
+
+func (n *node) releaseHolds(owner int64) {
+	for key, h := range n.holds {
+		if key.owner == owner {
+			n.heldTotal = n.heldTotal.Sub(h.amount)
+			delete(n.holds, key)
+		}
+	}
+}
+
+// maybeBroadcast applies the threshold-triggered global update rule
+// (§3.2): when committed availability drifts more than the threshold of
+// capacity, report the fresh value to every node (best effort).
+func (n *node) maybeBroadcast() {
+	avail := n.capacity.Sub(n.committed)
+	th := n.c.cfg.UpdateThreshold
+	if math.Abs(avail.CPU-n.lastReported.CPU) <= th*n.capacity.CPU &&
+		math.Abs(avail.Memory-n.lastReported.Memory) <= th*n.capacity.Memory {
+		return
+	}
+	n.lastReported = avail
+	msg := stateMsg{node: n.id, avail: avail}
+	for _, peer := range n.c.nodes {
+		if peer.id == n.id {
+			peer.view[n.id] = avail
+			continue
+		}
+		peer.send(msg) // drops are tolerated: the view stays stale
+	}
+}
+
+// onCompose initiates probing as the deputy node.
+func (n *node) onCompose(msg composeMsg) {
+	order, err := msg.req.Graph.TopoOrder()
+	if err != nil {
+		msg.reply <- composeReply{err: err}
+		return
+	}
+	p := &pendingCompose{req: msg.req, order: order, reply: msg.reply}
+	n.pending[msg.req.ID] = p
+
+	sent := n.fanOut(msg.req, order, 0,
+		make([]component.ComponentID, msg.req.Graph.NumPositions()),
+		qos.Vector{}, nil)
+	if sent == 0 {
+		delete(n.pending, msg.req.ID)
+		msg.reply <- composeReply{err: ErrNoComposition}
+		return
+	}
+	reqID := msg.req.ID
+	time.AfterFunc(n.c.cfg.CollectTimeout, func() {
+		n.sendBlocking(decideMsg{reqID: reqID})
+	})
+}
+
+// fanOut selects candidates for position order[idx] and sends one probe
+// to each chosen candidate's host, returning how many were sent.
+func (n *node) fanOut(req *component.Request, order []int, idx int,
+	assign []component.ComponentID, acc qos.Vector, avails []qos.Resources) int {
+
+	selected := n.selectCandidates(req, order, idx, assign, acc)
+	sent := 0
+	for _, id := range selected {
+		host := n.c.catalog.Component(id).Node
+		msg := probeMsg{
+			req:    req,
+			deputy: req.Client,
+			idx:    idx,
+			chosen: id,
+			assign: append([]component.ComponentID(nil), assign...),
+			acc:    acc,
+			avails: append([]qos.Resources(nil), avails...),
+		}
+		if n.c.nodes[host].send(msg) {
+			sent++
+		}
+	}
+	return sent
+}
+
+// selectCandidates applies §3.5 under this node's coarse view: filter by
+// the QoS risk bound and the view's resource/bandwidth states, rank by
+// risk then congestion, and keep ceil(alpha*k).
+func (n *node) selectCandidates(req *component.Request, order []int, idx int,
+	assign []component.ComponentID, acc qos.Vector) []component.ComponentID {
+
+	pos := order[idx]
+	candidates := n.c.catalog.Candidates(req.Graph.Functions[pos])
+	if len(candidates) == 0 {
+		return nil
+	}
+	m := int(math.Ceil(n.c.cfg.ProbingRatio * float64(len(candidates))))
+	if m < 1 {
+		m = 1
+	}
+
+	type ranked struct {
+		id   component.ComponentID
+		risk float64
+		cong float64
+	}
+	var qualified []ranked
+	for _, id := range candidates {
+		cand := n.c.catalog.Component(id)
+		if cand.Security < req.MinSecurity || !n.c.catalog.Usable(id) {
+			continue
+		}
+		linkQoS, routeBW := n.predecessorLinks(req, pos, assign, cand.Node)
+		candAcc := acc.Add(linkQoS).Add(cand.QoS)
+		risk := candAcc.MaxRatio(req.QoSReq)
+		if risk > 1 {
+			continue
+		}
+		avail := n.view[cand.Node]
+		if !avail.Covers(req.ResReq[pos]) || routeBW < req.BandwidthReq {
+			continue
+		}
+		cong := qos.CongestionTerm(req.ResReq[pos], avail.Sub(req.ResReq[pos])) +
+			qos.BandwidthCongestionTerm(req.BandwidthReq, routeBW-req.BandwidthReq)
+		qualified = append(qualified, ranked{id: id, risk: risk, cong: cong})
+	}
+	if len(qualified) > m {
+		sort.SliceStable(qualified, func(i, j int) bool {
+			const band = 0.05
+			ri, rj := qualified[i].risk, qualified[j].risk
+			if math.Abs(ri-rj) > band*math.Max(ri, rj) {
+				return ri < rj
+			}
+			return qualified[i].cong < qualified[j].cong
+		})
+		qualified = qualified[:m]
+	}
+	out := make([]component.ComponentID, len(qualified))
+	for i, q := range qualified {
+		out[i] = q.id
+	}
+	return out
+}
+
+// predecessorLinks aggregates the virtual links from the already-chosen
+// predecessors of pos to the candidate host.
+func (n *node) predecessorLinks(req *component.Request, pos int,
+	assign []component.ComponentID, host int) (qos.Vector, float64) {
+
+	var linkQoS qos.Vector
+	routeBW := math.Inf(1)
+	for _, pred := range req.Graph.Predecessors(pos) {
+		from := n.c.catalog.Component(assign[pred]).Node
+		route, ok := n.c.mesh.RouteBetween(from, host)
+		if !ok {
+			return qos.Vector{Delay: math.Inf(1)}, 0
+		}
+		linkQoS = linkQoS.Add(route.QoS)
+		routeBW = math.Min(routeBW, n.c.links.routeAvailable(route))
+	}
+	return linkQoS, routeBW
+}
+
+// onProbe performs per-hop probe processing for the candidate this node
+// hosts (§3.3 step 2): precise conformance, transient allocation, and
+// forwarding or return.
+func (n *node) onProbe(msg probeMsg) {
+	req := msg.req
+	pos := msg.idx
+	order, err := req.Graph.TopoOrder()
+	if err != nil {
+		return
+	}
+	gpos := order[pos]
+	cand := n.c.catalog.Component(msg.chosen)
+
+	linkQoS, routeBW := n.predecessorLinks(req, gpos, msg.assign, n.id)
+	acc := msg.acc.Add(linkQoS).Add(cand.QoS)
+
+	// Precise conformance (Eqs. 6-8) against this node's own state; drop
+	// unqualified probes immediately.
+	if acc.MaxRatio(req.QoSReq) > 1 || cand.Security < req.MinSecurity {
+		return
+	}
+	if !n.availableFor(req.ID).Covers(req.ResReq[gpos]) || routeBW < req.BandwidthReq {
+		return
+	}
+	if !n.holdFor(req.ID, gpos, req.ResReq[gpos]) {
+		return
+	}
+
+	assign := append([]component.ComponentID(nil), msg.assign...)
+	assign[gpos] = msg.chosen
+	avails := append(append([]qos.Resources(nil), msg.avails...), n.available())
+
+	if msg.idx == len(order)-1 {
+		n.c.nodes[msg.deputy].send(returnMsg{
+			reqID:  req.ID,
+			assign: assign,
+			acc:    acc,
+			avails: avails,
+		})
+		return
+	}
+	n.fanOut(req, order, msg.idx+1, assign, acc, avails)
+}
+
+// onReturn records a completed probe at the deputy.
+func (n *node) onReturn(msg returnMsg) {
+	p, ok := n.pending[msg.reqID]
+	if !ok || p.decided {
+		return
+	}
+	p.returns = append(p.returns, msg)
+}
+
+// onDecide closes the probe collection window: select the phi-minimal
+// qualified composition and start the commit phase (§3.3 steps 3-4).
+func (n *node) onDecide(reqID int64) {
+	p, ok := n.pending[reqID]
+	if !ok || p.decided {
+		return
+	}
+	p.decided = true
+
+	var (
+		best    *Composition
+		bestDem demands
+	)
+	for _, ret := range p.returns {
+		comp, dem, ok := n.evaluateReturn(p.req, ret)
+		if !ok {
+			continue
+		}
+		if best == nil || comp.Phi < best.Phi {
+			best, bestDem = comp, dem
+		}
+	}
+	if best == nil {
+		delete(n.pending, reqID)
+		p.reply <- composeReply{err: ErrNoComposition}
+		return
+	}
+
+	// Commit phase: bandwidth first (atomic all-or-nothing), then the
+	// per-node resource confirmations.
+	if !n.c.links.reserve(bestDem.links) {
+		delete(n.pending, reqID)
+		p.reply <- composeReply{err: ErrNoComposition}
+		return
+	}
+	p.comp = best
+	p.linkDemand = bestDem.links
+	p.nodeDemand = bestDem.nodes
+	p.needAcks = make(map[int]bool, len(bestDem.nodes))
+	p.ackedNodes = make(map[int]qos.Resources, len(bestDem.nodes))
+	for nodeID := range bestDem.nodes {
+		p.needAcks[nodeID] = false
+	}
+	for nodeID, amount := range bestDem.nodes {
+		msg := commitMsg{owner: reqID, amount: amount, deputy: n.id, reqID: reqID}
+		if nodeID == n.id {
+			n.onCommit(msg) // local commit without a mailbox round trip
+			continue
+		}
+		if !n.c.nodes[nodeID].send(msg) {
+			// Treat an overloaded peer as a nack.
+			n.send(commitAckMsg{reqID: reqID, node: nodeID, ok: false})
+		}
+	}
+	time.AfterFunc(time.Second, func() {
+		n.sendBlocking(commitTimeoutMsg{reqID: reqID})
+	})
+}
+
+// evaluateReturn checks a returned composition against the constraints
+// and computes phi from the precise states the probe collected.
+func (n *node) evaluateReturn(req *component.Request, ret returnMsg) (*Composition, demands, bool) {
+	if ret.acc.MaxRatio(req.QoSReq) > 1 {
+		return nil, demands{}, false
+	}
+	dem := n.c.demandsOf(req, ret.assign)
+	order, err := req.Graph.TopoOrder()
+	if err != nil || len(ret.avails) != len(order) {
+		return nil, demands{}, false
+	}
+
+	// Node congestion terms from the availability snapshots the probe
+	// carried back; multiple placements on one node share the residual
+	// after the total demand (footnote 5).
+	availAt := make(map[int]qos.Resources, len(dem.nodes))
+	for i, gpos := range order {
+		host := n.c.catalog.Component(ret.assign[gpos]).Node
+		availAt[host] = ret.avails[i]
+	}
+	phi := 0.0
+	for _, gpos := range order {
+		host := n.c.catalog.Component(ret.assign[gpos]).Node
+		// The snapshot was taken right after the probe placed this
+		// position's own hold, so it already excludes this placement;
+		// subtract the rest of the request's demand on the same host to
+		// get the residual after all placements (footnote 5).
+		residual := availAt[host].Sub(dem.nodes[host]).Add(req.ResReq[gpos])
+		if !residual.NonNegative() {
+			return nil, demands{}, false
+		}
+		phi += qos.CongestionTerm(req.ResReq[gpos], residual)
+	}
+	for _, e := range req.Graph.Edges {
+		from := n.c.catalog.Component(ret.assign[e.From]).Node
+		to := n.c.catalog.Component(ret.assign[e.To]).Node
+		route, ok := n.c.mesh.RouteBetween(from, to)
+		if !ok {
+			return nil, demands{}, false
+		}
+		residual := math.Inf(1)
+		if !route.CoLocated {
+			residual = n.c.links.routeAvailable(route) - req.BandwidthReq
+			if residual < 0 {
+				return nil, demands{}, false
+			}
+		}
+		phi += qos.BandwidthCongestionTerm(req.BandwidthReq, residual)
+	}
+	return &Composition{
+		Components: ret.assign,
+		Phi:        phi,
+		QoS:        ret.acc,
+		owner:      req.ID,
+	}, dem, true
+}
+
+// onCommit promotes the owner's transient holds into a committed
+// allocation, or rejects if the resources are no longer there.
+func (n *node) onCommit(msg commitMsg) {
+	n.releaseHolds(msg.owner)
+	ok := n.available().Covers(msg.amount)
+	if ok {
+		n.committed = n.committed.Add(msg.amount)
+		n.maybeBroadcast()
+	}
+	ack := commitAckMsg{reqID: msg.reqID, node: n.id, ok: ok}
+	if msg.deputy == n.id {
+		n.onCommitAck(ack)
+		return
+	}
+	n.c.nodes[msg.deputy].send(ack)
+}
+
+// onCommitAck gathers commit outcomes; all-acked resolves the request,
+// any nack rolls back.
+func (n *node) onCommitAck(msg commitAckMsg) {
+	p, ok := n.pending[msg.reqID]
+	if !ok || p.comp == nil {
+		return
+	}
+	if !msg.ok {
+		n.rollback(p, msg.reqID)
+		return
+	}
+	p.needAcks[msg.node] = true
+	p.ackedNodes[msg.node] = p.nodeDemand[msg.node]
+	for _, acked := range p.needAcks {
+		if !acked {
+			return
+		}
+	}
+	delete(n.pending, msg.reqID)
+	p.reply <- composeReply{comp: p.comp}
+}
+
+// onCommitTimeout treats overdue acks as failure.
+func (n *node) onCommitTimeout(reqID int64) {
+	p, ok := n.pending[reqID]
+	if !ok || p.comp == nil {
+		return
+	}
+	n.rollback(p, reqID)
+}
+
+// rollback releases whatever the commit phase already acquired and
+// reports failure.
+func (n *node) rollback(p *pendingCompose, reqID int64) {
+	delete(n.pending, reqID)
+	n.c.links.release(p.linkDemand)
+	for nodeID, amount := range p.ackedNodes {
+		if nodeID == n.id {
+			n.onRelease(releaseMsg{owner: reqID, amount: amount})
+			continue
+		}
+		n.c.nodes[nodeID].send(releaseMsg{owner: reqID, amount: amount})
+	}
+	p.reply <- composeReply{err: ErrNoComposition}
+}
+
+// onRelease returns committed resources (session close or rollback).
+func (n *node) onRelease(msg releaseMsg) {
+	n.releaseHolds(msg.owner)
+	n.committed = n.committed.Sub(msg.amount)
+	if n.committed.CPU < 0 {
+		n.committed.CPU = 0
+	}
+	if n.committed.Memory < 0 {
+		n.committed.Memory = 0
+	}
+	n.maybeBroadcast()
+}

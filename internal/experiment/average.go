@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AverageTables element-wise averages the numeric cells of homologous
+// tables — the same figure regenerated under different seeds. The first
+// column (the x-axis) and any non-numeric cell must agree across all
+// inputs and is passed through. Averaged numeric cells keep the decimal
+// precision of the first table's cell.
+func AverageTables(runs [][]*Table) ([]*Table, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("experiment: no tables to average")
+	}
+	if len(runs) == 1 {
+		return runs[0], nil
+	}
+	first := runs[0]
+	for i, run := range runs[1:] {
+		if len(run) != len(first) {
+			return nil, fmt.Errorf("experiment: run %d has %d tables, want %d", i+1, len(run), len(first))
+		}
+	}
+
+	out := make([]*Table, len(first))
+	for ti, tmpl := range first {
+		avg := &Table{
+			Title:  tmpl.Title + fmt.Sprintf(" (mean of %d seeds)", len(runs)),
+			Header: append([]string(nil), tmpl.Header...),
+		}
+		for ri, row := range tmpl.Rows {
+			avgRow := make([]string, len(row))
+			for ci, cell := range row {
+				merged, err := averageCell(runs, ti, ri, ci, cell)
+				if err != nil {
+					return nil, err
+				}
+				avgRow[ci] = merged
+			}
+			avg.Rows = append(avg.Rows, avgRow)
+		}
+		out[ti] = avg
+	}
+	return out, nil
+}
+
+func averageCell(runs [][]*Table, ti, ri, ci int, first string) (string, error) {
+	v0, numeric := parseNumeric(first)
+	if ci == 0 || !numeric {
+		// Axis or label cell: every run must agree.
+		for i, run := range runs[1:] {
+			if ti >= len(run) || ri >= len(run[ti].Rows) || ci >= len(run[ti].Rows[ri]) {
+				return "", fmt.Errorf("experiment: run %d table %d is not homologous", i+1, ti)
+			}
+			if run[ti].Rows[ri][ci] != first {
+				return "", fmt.Errorf("experiment: run %d table %d cell (%d,%d) = %q, want %q",
+					i+1, ti, ri, ci, run[ti].Rows[ri][ci], first)
+			}
+		}
+		return first, nil
+	}
+	sum := v0
+	for i, run := range runs[1:] {
+		if ti >= len(run) || ri >= len(run[ti].Rows) || ci >= len(run[ti].Rows[ri]) {
+			return "", fmt.Errorf("experiment: run %d table %d is not homologous", i+1, ti)
+		}
+		v, ok := parseNumeric(run[ti].Rows[ri][ci])
+		if !ok {
+			return "", fmt.Errorf("experiment: run %d table %d cell (%d,%d) is not numeric: %q",
+				i+1, ti, ri, ci, run[ti].Rows[ri][ci])
+		}
+		sum += v
+	}
+	mean := sum / float64(len(runs))
+	return strconv.FormatFloat(mean, 'f', decimals(first), 64), nil
+}
+
+func parseNumeric(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+func decimals(s string) int {
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return len(s) - i - 1
+	}
+	return 0
+}
+
+// ReproduceAveraged runs a figure under several consecutive seeds and
+// returns the seed-averaged tables. The series figures (8a/8b) average
+// per-window values, which smooths their sampling noise.
+func ReproduceAveraged(fn FigureFunc, opts Options, seeds int) ([]*Table, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("experiment: seeds %d < 1", seeds)
+	}
+	opts = opts.normalize()
+	runs := make([][]*Table, 0, seeds)
+	for s := 0; s < seeds; s++ {
+		o := opts
+		o.Seed = opts.Seed + int64(s)
+		tables, err := fn(o)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, tables)
+	}
+	return AverageTables(runs)
+}

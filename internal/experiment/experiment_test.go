@@ -1,0 +1,500 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/trace"
+	"repro/internal/tuning"
+	"repro/internal/workload"
+)
+
+// smallSystem keeps integration tests fast: a 300-node IP graph with a
+// 60-node overlay.
+func smallSystem(seed int64) SystemConfig {
+	cfg := DefaultSystemConfig()
+	cfg.Seed = seed
+	cfg.IPNodes = 300
+	cfg.OverlayNodes = 60
+	cfg.NumFunctions = 20
+	cfg.NumTemplates = 10
+	return cfg
+}
+
+func smallPlatform(t *testing.T, seed int64) *Platform {
+	t.Helper()
+	p, err := BuildPlatform(smallSystem(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func shortRun(rate float64) RunConfig {
+	rc := DefaultRunConfig(rate)
+	rc.Duration = 15 * time.Minute
+	return rc
+}
+
+func TestBuildPlatformValidation(t *testing.T) {
+	cfg := smallSystem(1)
+	cfg.OverlayNodes = cfg.IPNodes + 1
+	if _, err := BuildPlatform(cfg); err == nil {
+		t.Error("overlay larger than IP accepted")
+	}
+	cfg = smallSystem(1)
+	cfg.ComponentsPerNode = 0
+	if _, err := BuildPlatform(cfg); err == nil {
+		t.Error("zero components per node accepted")
+	}
+}
+
+func TestBuildPlatformShape(t *testing.T) {
+	p := smallPlatform(t, 1)
+	if p.Mesh.NumNodes() != 60 {
+		t.Errorf("overlay nodes = %d", p.Mesh.NumNodes())
+	}
+	if p.Catalog.NumComponents() != 60 {
+		t.Errorf("components = %d", p.Catalog.NumComponents())
+	}
+	if p.Library.Count() != 10 {
+		t.Errorf("templates = %d", p.Library.Count())
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	p := smallPlatform(t, 1)
+	res, err := Run(p, shortRun(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests < 100 {
+		t.Errorf("requests = %d, want roughly 300", res.Requests)
+	}
+	if res.SuccessRate <= 0 || res.SuccessRate > 1 {
+		t.Errorf("success rate = %v", res.SuccessRate)
+	}
+	if res.OverheadPerMinute <= 0 {
+		t.Errorf("overhead = %v", res.OverheadPerMinute)
+	}
+	if len(res.SuccessSeries) == 0 {
+		t.Error("no success series recorded")
+	}
+	if res.MeanProbeLatency <= 0 {
+		t.Errorf("mean latency = %v", res.MeanProbeLatency)
+	}
+	if res.MeanPhi <= 0 {
+		t.Errorf("mean phi = %v", res.MeanPhi)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p := smallPlatform(t, 1)
+	rc := shortRun(20)
+	rc.Duration = 0
+	if _, err := Run(p, rc); err == nil {
+		t.Error("zero duration accepted")
+	}
+	rc = shortRun(20)
+	rc.Algorithm = core.Algorithm(99)
+	if _, err := Run(p, rc); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	rc = shortRun(20)
+	rc.Phases = nil
+	if _, err := Run(p, rc); err == nil {
+		t.Error("empty phases accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p := smallPlatform(t, 2)
+	r1, err := Run(p, shortRun(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(p, shortRun(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.SuccessRate != r2.SuccessRate || r1.Requests != r2.Requests {
+		t.Errorf("identical runs differ: (%v, %d) vs (%v, %d)",
+			r1.SuccessRate, r1.Requests, r2.SuccessRate, r2.Requests)
+	}
+	if r1.Messages != r2.Messages {
+		t.Errorf("message counters differ: %v vs %v", r1.Messages, r2.Messages)
+	}
+}
+
+func TestRunSeedChangesWorkload(t *testing.T) {
+	p := smallPlatform(t, 2)
+	rc := shortRun(30)
+	r1, err := Run(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Seed = 99
+	r2, err := Run(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Requests == r2.Requests && r1.Messages == r2.Messages {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+// TestRunAlgorithmOrdering is the headline sanity check of Figure 6(a):
+// under contention, Optimal >= ACP > Random > Static within tolerance.
+func TestRunAlgorithmOrdering(t *testing.T) {
+	p := smallPlatform(t, 3)
+	success := make(map[core.Algorithm]float64)
+	for _, alg := range []core.Algorithm{core.AlgOptimal, core.AlgACP, core.AlgRandom, core.AlgStatic} {
+		rc := shortRun(15)
+		rc.Algorithm = alg
+		res, err := Run(p, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		success[alg] = res.SuccessRate
+	}
+	const tol = 0.03 // sampling noise on short runs
+	if success[core.AlgOptimal]+tol < success[core.AlgACP] {
+		t.Errorf("Optimal (%v) below ACP (%v)", success[core.AlgOptimal], success[core.AlgACP])
+	}
+	// On this small system ACP and Random can be within noise of each
+	// other; the robust claims are Optimal > Random and everything >
+	// Static.
+	if success[core.AlgOptimal] <= success[core.AlgRandom] {
+		t.Errorf("Optimal (%v) not above Random (%v)", success[core.AlgOptimal], success[core.AlgRandom])
+	}
+	if success[core.AlgACP] <= success[core.AlgStatic] {
+		t.Errorf("ACP (%v) not above Static (%v)", success[core.AlgACP], success[core.AlgStatic])
+	}
+	if success[core.AlgRandom] <= success[core.AlgStatic] {
+		t.Errorf("Random (%v) not above Static (%v)", success[core.AlgRandom], success[core.AlgStatic])
+	}
+}
+
+// TestRunOverheadOrdering is the headline sanity check of Figure 6(b).
+func TestRunOverheadOrdering(t *testing.T) {
+	p := smallPlatform(t, 4)
+	overhead := make(map[core.Algorithm]float64)
+	for _, alg := range []core.Algorithm{core.AlgOptimal, core.AlgACP} {
+		rc := shortRun(20)
+		rc.Algorithm = alg
+		res, err := Run(p, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overhead[alg] = res.OverheadPerMinute
+	}
+	if overhead[core.AlgOptimal] < 5*overhead[core.AlgACP] {
+		t.Errorf("Optimal overhead (%v) not well above ACP (%v)",
+			overhead[core.AlgOptimal], overhead[core.AlgACP])
+	}
+}
+
+func TestRunWithTuner(t *testing.T) {
+	p := smallPlatform(t, 5)
+	rc := shortRun(25)
+	rc.ProbingRatio = 0.1
+	tcfg := tuning.DefaultConfig()
+	rc.Tuning = &tcfg
+	res, err := Run(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reprofiles == 0 {
+		t.Error("tuner never profiled")
+	}
+	if len(res.RatioSeries) == 0 {
+		t.Error("no ratio series recorded")
+	}
+}
+
+func TestRunDynamicPhases(t *testing.T) {
+	p := smallPlatform(t, 6)
+	rc := shortRun(0)
+	rc.Phases = []workload.Phase{
+		{Until: 5 * time.Minute, RatePerMinute: 10},
+		{Until: 1 << 62, RatePerMinute: 50},
+	}
+	rc.Duration = 10 * time.Minute
+	rc.SamplePeriod = 5 * time.Minute
+	res, err := Run(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~50 requests in phase 1, ~250 in phase 2.
+	if res.Requests < 150 || res.Requests > 450 {
+		t.Errorf("requests = %d, want ~300", res.Requests)
+	}
+}
+
+func TestRunStatePolicies(t *testing.T) {
+	p := smallPlatform(t, 7)
+	rates := make(map[StatePolicy]float64)
+	for _, pol := range []StatePolicy{StateCoarse, StateFresh, StateFrozen} {
+		rc := shortRun(25)
+		rc.State = pol
+		res, err := Run(p, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates[pol] = res.SuccessRate
+	}
+	// Fresh state cannot be (much) worse than frozen state.
+	if rates[StateFresh]+0.05 < rates[StateFrozen] {
+		t.Errorf("always-fresh state (%v) below frozen state (%v)", rates[StateFresh], rates[StateFrozen])
+	}
+}
+
+func TestRunDisableTransient(t *testing.T) {
+	p := smallPlatform(t, 8)
+	rc := shortRun(30)
+	rc.DisableTransient = true
+	if _, err := Run(p, rc); err != nil {
+		t.Fatalf("run without transient allocation failed: %v", err)
+	}
+}
+
+func TestWorkloadOverrideApplied(t *testing.T) {
+	p := smallPlatform(t, 9)
+	rc := shortRun(30)
+	// Make every request impossible: success collapses to ~0.
+	rc.WorkloadOverride = func(w *workload.Config) {
+		w.CPUReqMin = 150
+		w.CPUReqMax = 200
+	}
+	res, err := Run(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate > 0.01 {
+		t.Errorf("success rate = %v with impossible demands", res.SuccessRate)
+	}
+}
+
+func TestOverheadAccountingPerAlgorithm(t *testing.T) {
+	p := smallPlatform(t, 10)
+	rc := shortRun(25)
+	rc.Algorithm = core.AlgACP
+	res, err := Run(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ACP's reported overhead must include state maintenance.
+	want := float64(res.Messages.ProbingTotal()+res.Messages.StateUpdates+res.Messages.Aggregations) /
+		rc.Duration.Minutes()
+	if math.Abs(res.OverheadPerMinute-want) > 1e-9 {
+		t.Errorf("ACP overhead = %v, want %v", res.OverheadPerMinute, want)
+	}
+
+	rc.Algorithm = core.AlgRP
+	res, err = Run(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = float64(res.Messages.ProbingTotal()) / rc.Duration.Minutes()
+	if math.Abs(res.OverheadPerMinute-want) > 1e-9 {
+		t.Errorf("RP overhead = %v, want %v", res.OverheadPerMinute, want)
+	}
+}
+
+func TestSessionsDrainAfterRun(t *testing.T) {
+	// All sessions end within the run when duration exceeds max session
+	// length plus the last arrival: use a long quiet tail.
+	p := smallPlatform(t, 11)
+	rc := shortRun(0)
+	rc.Phases = []workload.Phase{
+		{Until: 5 * time.Minute, RatePerMinute: 20},
+		{Until: 1 << 62, RatePerMinute: 0.0001}, // effectively silent
+	}
+	rc.Duration = 25 * time.Minute
+	if _, err := Run(p, rc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithMigration(t *testing.T) {
+	p := smallPlatform(t, 12)
+	pcfg := placement.DefaultConfig()
+	pcfg.Period = 2 * time.Minute
+	pcfg.UtilizationGap = 0.2
+
+	rc := shortRun(30)
+	rc.Migration = &pcfg
+	res, err := Run(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MigrationMoves == 0 {
+		t.Log("no migrations triggered (system stayed balanced)")
+	}
+	// The shared platform catalog must be untouched: a second run
+	// without migration behaves exactly like a fresh platform's run.
+	base, err := Run(p, shortRun(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Run(smallPlatform(t, 12), shortRun(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SuccessRate != fresh.SuccessRate || base.Messages != fresh.Messages {
+		t.Error("migration run mutated the shared platform catalog")
+	}
+}
+
+func TestRunWithFailures(t *testing.T) {
+	p := smallPlatform(t, 13)
+	rc := shortRun(30)
+	rc.FailuresPerMinute = 0.5
+	rc.RepairTime = 5 * time.Minute
+	res, err := Run(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 {
+		t.Fatal("no failures injected at 0.5/min over 15 minutes")
+	}
+	if res.Disrupted == 0 {
+		t.Log("failures hit only idle nodes on this seed")
+	}
+	if res.Recomposed != 0 {
+		t.Errorf("recompositions without RecomposeOnFailure: %d", res.Recomposed)
+	}
+}
+
+func TestRunFailuresWithRecomposition(t *testing.T) {
+	p := smallPlatform(t, 14)
+	rc := shortRun(30)
+	rc.FailuresPerMinute = 1
+	rc.RepairTime = 5 * time.Minute
+	rc.RecomposeOnFailure = true
+	res, err := Run(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disrupted > 0 && res.Recomposed == 0 {
+		t.Errorf("%d sessions disrupted, none recomposed", res.Disrupted)
+	}
+	if res.Recomposed > res.Disrupted {
+		t.Errorf("recomposed %d > disrupted %d", res.Recomposed, res.Disrupted)
+	}
+}
+
+func TestRunWithPITuner(t *testing.T) {
+	p := smallPlatform(t, 15)
+	rc := shortRun(30)
+	rc.ProbingRatio = 0.1
+	picfg := tuning.DefaultPIConfig()
+	rc.PITuning = &picfg
+	res, err := Run(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RatioSeries) == 0 {
+		t.Fatal("no ratio series with PI tuner")
+	}
+	if res.Reprofiles != 0 {
+		t.Errorf("PI tuner reported %d reprofiles", res.Reprofiles)
+	}
+	// Exclusivity check.
+	tcfg := tuning.DefaultConfig()
+	rc.Tuning = &tcfg
+	if _, err := Run(p, rc); err == nil {
+		t.Error("both tuners accepted simultaneously")
+	}
+}
+
+func TestRunSecureWorkload(t *testing.T) {
+	p := smallPlatform(t, 16)
+	plain := shortRun(25)
+	base, err := Run(p, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secure := shortRun(25)
+	secure.WorkloadOverride = func(w *workload.Config) {
+		w.SecureFraction = 1
+		w.SecureLevel = 3
+	}
+	res, err := Run(p, secure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demanding level-3 components everywhere must cost success: only a
+	// third of components qualify.
+	if res.SuccessRate >= base.SuccessRate {
+		t.Errorf("security constraint did not reduce success: %v vs %v", res.SuccessRate, base.SuccessRate)
+	}
+}
+
+func TestRunTraceRecordAndReplay(t *testing.T) {
+	p := smallPlatform(t, 17)
+
+	// Record a run's workload.
+	var buf bytes.Buffer
+	rc := shortRun(20)
+	rc.TraceWriter = trace.NewWriter(&buf)
+	recorded, err := Run(p, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	records, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(records)) != recorded.Requests {
+		t.Fatalf("trace has %d records for %d requests", len(records), recorded.Requests)
+	}
+
+	// Replaying the trace reproduces the run exactly: same requests at
+	// the same times against the same platform.
+	replay := shortRun(20)
+	replay.Replay = records
+	replayed, err := Run(p, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Requests != recorded.Requests {
+		t.Errorf("replay issued %d requests, recording had %d", replayed.Requests, recorded.Requests)
+	}
+	if replayed.SuccessRate != recorded.SuccessRate {
+		t.Errorf("replay success %v, recording %v", replayed.SuccessRate, recorded.SuccessRate)
+	}
+	if replayed.Messages.Probes != recorded.Messages.Probes {
+		t.Errorf("replay probes %d, recording %d", replayed.Messages.Probes, recorded.Messages.Probes)
+	}
+}
+
+func TestRunReplayCutoff(t *testing.T) {
+	p := smallPlatform(t, 18)
+	var buf bytes.Buffer
+	rc := shortRun(20)
+	rc.TraceWriter = trace.NewWriter(&buf)
+	if _, err := Run(p, rc); err != nil {
+		t.Fatal(err)
+	}
+	records, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay with half the duration: later arrivals are dropped.
+	replay := shortRun(20)
+	replay.Replay = records
+	replay.Duration = rc.Duration / 2
+	res, err := Run(p, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests >= int64(len(records)) {
+		t.Errorf("cutoff replay issued %d of %d requests", res.Requests, len(records))
+	}
+}

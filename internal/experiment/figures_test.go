@@ -1,0 +1,316 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyOptions shrinks figure runs to CI scale: minimum durations on a
+// small IP graph.
+func tinyOptions() Options {
+	return Options{Seed: 1, DurationScale: 0.01, IPNodes: 800}
+}
+
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestFigureNamesComplete(t *testing.T) {
+	names := FigureNames()
+	want := []string{"5a", "5b", "6", "6a", "6b", "7", "7a", "7b", "8a", "8b"}
+	if len(names) != len(want) {
+		t.Fatalf("FigureNames = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("FigureNames = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestFigure5aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run in -short mode")
+	}
+	tables, err := Figure5a(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) != len(alphaGrid) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(alphaGrid))
+	}
+	// Success at the largest probing ratio must beat the smallest, for
+	// both request rates (the Figure 5 premise).
+	for col := 1; col <= 2; col++ {
+		lo := parsePct(t, tbl.Rows[0][col])
+		hi := parsePct(t, tbl.Rows[len(tbl.Rows)-1][col])
+		if hi <= lo {
+			t.Errorf("column %d: success at alpha=1 (%v) not above alpha=0.05 (%v)", col, hi, lo)
+		}
+	}
+	// Higher request rate saturates lower.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if parsePct(t, last[2]) >= parsePct(t, last[1]) {
+		t.Errorf("rate 100 saturation (%v) not below rate 50 (%v)", last[2], last[1])
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run in -short mode")
+	}
+	tables, err := Figure6(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ, ovh := tables[0], tables[1]
+	if len(succ.Rows) != 5 || len(ovh.Rows) != 5 {
+		t.Fatalf("row counts: %d, %d", len(succ.Rows), len(ovh.Rows))
+	}
+	// At the highest rate: Optimal ~>= ACP and ACP > Static.
+	lastRow := succ.Rows[len(succ.Rows)-1]
+	optimal, acp := parsePct(t, lastRow[1]), parsePct(t, lastRow[2])
+	static := parsePct(t, lastRow[6])
+	if optimal+5 < acp {
+		t.Errorf("Optimal (%v) far below ACP (%v)", optimal, acp)
+	}
+	if acp <= static {
+		t.Errorf("ACP (%v) not above Static (%v)", acp, static)
+	}
+	// Overhead: Optimal >> ACP at every rate.
+	for _, row := range ovh.Rows {
+		opt := parsePct(t, row[1])
+		acpOvh := parsePct(t, row[2])
+		if opt < 5*acpOvh {
+			t.Errorf("rate %s: Optimal overhead %v not well above ACP %v", row[0], opt, acpOvh)
+		}
+	}
+}
+
+func TestFigure8bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run in -short mode")
+	}
+	opts := tinyOptions()
+	opts.DurationScale = 0.2 // the adaptation story needs a few windows
+	tables, err := Figure8b(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("too few samples: %d", len(tbl.Rows))
+	}
+	// The ratio column must vary: the tuner reacts to the load swing.
+	ratios := make(map[string]bool)
+	for _, row := range tbl.Rows {
+		ratios[row[2]] = true
+	}
+	if len(ratios) < 2 {
+		t.Errorf("probing ratio never changed: %v", tbl.Rows)
+	}
+}
+
+func TestSliceHelper(t *testing.T) {
+	tables := []*Table{{Title: "a"}, {Title: "b"}}
+	got, err := slice(tables, nil, 1)
+	if err != nil || len(got) != 1 || got[0].Title != "b" {
+		t.Errorf("slice = %v, %v", got, err)
+	}
+	if _, err := slice(tables, nil, 5); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "Demo",
+		Header: []string{"col", "value"},
+	}
+	tbl.AddRow("x", "1.0")
+	tbl.AddRow("longer", "2.0")
+	out := tbl.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "longer  2.0") {
+		t.Errorf("rendered table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Title: "Demo", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	var buf strings.Builder
+	if err := tbl.FprintCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# Demo\na,b\n1,2\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestAverageTables(t *testing.T) {
+	mk := func(v1, v2 string) []*Table {
+		tbl := &Table{Title: "T", Header: []string{"x", "y"}}
+		tbl.AddRow("10", v1)
+		tbl.AddRow("20", v2)
+		return []*Table{tbl}
+	}
+	avg, err := AverageTables([][]*Table{mk("1.0", "3"), mk("2.0", "5")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := avg[0].Rows[0][1]; got != "1.5" {
+		t.Errorf("averaged cell = %q, want 1.5", got)
+	}
+	if got := avg[0].Rows[1][1]; got != "4" {
+		t.Errorf("integer-precision cell = %q, want 4", got)
+	}
+	if avg[0].Rows[0][0] != "10" {
+		t.Errorf("axis cell changed: %q", avg[0].Rows[0][0])
+	}
+	if !strings.Contains(avg[0].Title, "mean of 2 seeds") {
+		t.Errorf("title = %q", avg[0].Title)
+	}
+}
+
+func TestAverageTablesMismatch(t *testing.T) {
+	a := &Table{Title: "T", Header: []string{"x", "y"}}
+	a.AddRow("10", "1")
+	b := &Table{Title: "T", Header: []string{"x", "y"}}
+	b.AddRow("99", "2") // axis disagrees
+	if _, err := AverageTables([][]*Table{{a}, {b}}); err == nil {
+		t.Error("axis mismatch accepted")
+	}
+	if _, err := AverageTables(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Single run passes through untouched.
+	out, err := AverageTables([][]*Table{{a}})
+	if err != nil || out[0] != a {
+		t.Errorf("single-run pass-through failed: %v", err)
+	}
+}
+
+func TestReproduceAveraged(t *testing.T) {
+	calls := 0
+	fn := func(o Options) ([]*Table, error) {
+		calls++
+		tbl := &Table{Title: "T", Header: []string{"x", "y"}}
+		tbl.AddRow("1", strconv.FormatInt(o.Seed, 10))
+		return []*Table{tbl}, nil
+	}
+	out, err := ReproduceAveraged(fn, Options{Seed: 10}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("figure ran %d times, want 3", calls)
+	}
+	// Seeds 10, 11, 12 average to 11.
+	if got := out[0].Rows[0][1]; got != "11" {
+		t.Errorf("averaged = %q, want 11", got)
+	}
+	if _, err := ReproduceAveraged(fn, Options{}, 0); err == nil {
+		t.Error("zero seeds accepted")
+	}
+}
+
+func TestAblationRegistry(t *testing.T) {
+	m := Ablations()
+	want := []string{"failures", "security", "selection", "staleness", "threshold", "transient", "tuners"}
+	if len(m) != len(want) {
+		t.Fatalf("Ablations has %d entries", len(m))
+	}
+	for _, name := range want {
+		if m[name] == nil {
+			t.Errorf("missing ablation %q", name)
+		}
+	}
+}
+
+func TestAblationTransientRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation run in -short mode")
+	}
+	tables, err := AblationTransient(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 5 {
+		t.Errorf("rows = %d", len(tables[0].Rows))
+	}
+}
+
+func TestExtensionSecurityMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation run in -short mode")
+	}
+	tables, err := ExtensionSecurity(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	first := parsePct(t, rows[0][1])
+	last := parsePct(t, rows[len(rows)-1][1])
+	if last >= first {
+		t.Errorf("all-secure success %v not below open %v", last, first)
+	}
+}
+
+func TestFigure5bAnd8aShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run in -short mode")
+	}
+	tables, err := Figure5b(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != len(alphaGrid) {
+		t.Errorf("5b rows = %d", len(tables[0].Rows))
+	}
+	// Strictest QoS column must not beat the loosest at saturation.
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	if parsePct(t, last[3]) > parsePct(t, last[1])+2 {
+		t.Errorf("very-high QoS (%s) above low QoS (%s)", last[3], last[1])
+	}
+
+	tables, err = Figure8a(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) < 2 {
+		t.Errorf("8a produced %d samples", len(tables[0].Rows))
+	}
+}
+
+func TestFigure7TinyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run in -short mode")
+	}
+	opts := tinyOptions()
+	tables, err := Figure7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ, ovh := tables[0], tables[1]
+	if len(succ.Rows) != 5 || len(ovh.Rows) != 5 {
+		t.Fatalf("row counts %d/%d", len(succ.Rows), len(ovh.Rows))
+	}
+	// Optimal's exhaustive overhead must grow with system size.
+	first := parsePct(t, ovh.Rows[0][1])
+	lastV := parsePct(t, ovh.Rows[len(ovh.Rows)-1][1])
+	if lastV <= first {
+		t.Errorf("Optimal overhead did not grow with N: %v -> %v", first, lastV)
+	}
+}

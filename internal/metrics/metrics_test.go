@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCountersTotalAndSub(t *testing.T) {
+	c := Counters{Probes: 10, ProbeReturns: 2, StateUpdates: 3, Aggregations: 4, Confirmations: 5, Discovery: 6, Migrations: 7}
+	if got := c.Total(); got != 37 {
+		t.Errorf("Total = %d, want 37", got)
+	}
+	if got := c.ProbingTotal(); got != 12 {
+		t.Errorf("ProbingTotal = %d, want 12", got)
+	}
+	d := c.Sub(Counters{Probes: 4, Confirmations: 5})
+	if d.Probes != 6 || d.Confirmations != 0 || d.StateUpdates != 3 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestSuccessSamplerWindows(t *testing.T) {
+	var s SuccessSampler
+	for i := 0; i < 8; i++ {
+		s.Record(i%2 == 0) // 4 of 8 succeed
+	}
+	if rate, n := s.Window(); rate != 0.5 || n != 8 {
+		t.Errorf("Window = (%v, %d), want (0.5, 8)", rate, n)
+	}
+	rate, n := s.Roll()
+	if rate != 0.5 || n != 8 {
+		t.Errorf("Roll = (%v, %d), want (0.5, 8)", rate, n)
+	}
+	// Window reset; cumulative preserved.
+	if rate, n := s.Window(); rate != 1 || n != 0 {
+		t.Errorf("post-roll Window = (%v, %d), want (1, 0)", rate, n)
+	}
+	s.Record(true)
+	s.Record(true)
+	if rate, n := s.Roll(); rate != 1 || n != 2 {
+		t.Errorf("second Roll = (%v, %d), want (1, 2)", rate, n)
+	}
+	if rate, n := s.Cumulative(); math.Abs(rate-0.6) > 1e-12 || n != 10 {
+		t.Errorf("Cumulative = (%v, %d), want (0.6, 10)", rate, n)
+	}
+}
+
+func TestSuccessSamplerEmptyWindow(t *testing.T) {
+	var s SuccessSampler
+	if rate, n := s.Roll(); rate != 1 || n != 0 {
+		t.Errorf("empty Roll = (%v, %d), want (1, 0)", rate, n)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Len() != 0 || s.Mean() != 0 || s.Min() != 0 {
+		t.Error("empty series not zero-valued")
+	}
+	s.Add(time.Minute, 0.9)
+	s.Add(2*time.Minute, 0.5)
+	s.Add(3*time.Minute, 0.7)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Mean(); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("Mean = %v, want 0.7", got)
+	}
+	if got := s.Min(); got != 0.5 {
+		t.Errorf("Min = %v, want 0.5", got)
+	}
+	pts := s.Points()
+	if len(pts) != 3 || pts[1] != (Point{At: 2 * time.Minute, Value: 0.5}) {
+		t.Errorf("Points = %v", pts)
+	}
+	// Points must be a copy.
+	pts[0].Value = 99
+	if s.Points()[0].Value == 99 {
+		t.Error("Points exposes internal storage")
+	}
+}

@@ -1,0 +1,214 @@
+package overlay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/qos"
+	"repro/internal/topology"
+)
+
+func testMesh(t *testing.T, overlayNodes int, seed int64) *Mesh {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tcfg := topology.DefaultConfig()
+	tcfg.Nodes = 800
+	g, err := topology.Generate(tcfg, rng)
+	if err != nil {
+		t.Fatalf("topology.Generate: %v", err)
+	}
+	ocfg := DefaultConfig()
+	ocfg.Nodes = overlayNodes
+	m, err := Build(g, ocfg, rng)
+	if err != nil {
+		t.Fatalf("overlay.Build: %v", err)
+	}
+	return m
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tcfg := topology.DefaultConfig()
+	tcfg.Nodes = 50
+	g, err := topology.Generate(tcfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "too few nodes", mutate: func(c *Config) { c.Nodes = 1 }},
+		{name: "more overlay than IP nodes", mutate: func(c *Config) { c.Nodes = 51 }},
+		{name: "zero neighbors", mutate: func(c *Config) { c.Nodes = 10; c.NeighborsPerNode = 0 }},
+		{name: "neighbors exceed nodes", mutate: func(c *Config) { c.Nodes = 10; c.NeighborsPerNode = 10 }},
+		{name: "negative loss", mutate: func(c *Config) { c.Nodes = 10; c.MinLinkLoss = -0.1 }},
+		{name: "loss range inverted", mutate: func(c *Config) { c.Nodes = 10; c.MinLinkLoss = 0.5; c.MaxLinkLoss = 0.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if _, err := Build(g, cfg, rand.New(rand.NewSource(2))); err == nil {
+				t.Error("Build accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestBuildBasicShape(t *testing.T) {
+	m := testMesh(t, 60, 3)
+	if m.NumNodes() != 60 {
+		t.Fatalf("NumNodes = %d, want 60", m.NumNodes())
+	}
+	// Every node must reach its target degree (ring chord may add more).
+	for v := 0; v < m.NumNodes(); v++ {
+		if got := len(m.Neighbors(v)); got < DefaultConfig().NeighborsPerNode {
+			t.Errorf("node %d degree = %d, want >= %d", v, got, DefaultConfig().NeighborsPerNode)
+		}
+	}
+	// Distinct IP nodes per overlay node.
+	seen := make(map[int]bool)
+	for v := 0; v < m.NumNodes(); v++ {
+		ip := m.IPNode(v)
+		if seen[ip] {
+			t.Fatalf("IP node %d used twice", ip)
+		}
+		seen[ip] = true
+	}
+}
+
+func TestBuildLinkAttributes(t *testing.T) {
+	m := testMesh(t, 40, 4)
+	for id := 0; id < m.NumLinks(); id++ {
+		lk := m.Link(id)
+		if lk.A >= lk.B {
+			t.Fatalf("link %d endpoints not ordered: %d, %d", id, lk.A, lk.B)
+		}
+		if lk.QoS.Delay <= 0 {
+			t.Errorf("link %d has non-positive delay %v", id, lk.QoS.Delay)
+		}
+		if lk.Capacity <= 0 || math.IsInf(lk.Capacity, 1) {
+			t.Errorf("link %d has bad capacity %v", id, lk.Capacity)
+		}
+		if lk.QoS.LossCost <= 0 {
+			t.Errorf("link %d has non-positive loss cost %v", id, lk.QoS.LossCost)
+		}
+	}
+}
+
+func TestAdjacentLinksConsistent(t *testing.T) {
+	m := testMesh(t, 40, 5)
+	for v := 0; v < m.NumNodes(); v++ {
+		for _, id := range m.AdjacentLinks(v) {
+			lk := m.Link(id)
+			if lk.A != v && lk.B != v {
+				t.Fatalf("link %d listed adjacent to %d but connects %d-%d", id, v, lk.A, lk.B)
+			}
+		}
+	}
+}
+
+func TestRouteBetweenSelf(t *testing.T) {
+	m := testMesh(t, 30, 6)
+	r, ok := m.RouteBetween(7, 7)
+	if !ok {
+		t.Fatal("self route not found")
+	}
+	if !r.CoLocated {
+		t.Error("self route not marked co-located")
+	}
+	if r.QoS != (qos.Vector{}) {
+		t.Errorf("self route QoS = %v, want zero", r.QoS)
+	}
+	if !math.IsInf(r.Capacity, 1) {
+		t.Errorf("self route capacity = %v, want +Inf", r.Capacity)
+	}
+	if len(r.Links) != 0 {
+		t.Errorf("self route has %d links", len(r.Links))
+	}
+}
+
+func TestRouteBetweenAggregation(t *testing.T) {
+	m := testMesh(t, 50, 7)
+	for a := 0; a < m.NumNodes(); a += 7 {
+		for b := 0; b < m.NumNodes(); b += 11 {
+			if a == b {
+				continue
+			}
+			r, ok := m.RouteBetween(a, b)
+			if !ok {
+				t.Fatalf("no route %d -> %d", a, b)
+			}
+			// Recompute aggregation by hand from the link sequence.
+			var wantQoS qos.Vector
+			wantCap := math.Inf(1)
+			at := a
+			for _, id := range r.Links {
+				lk := m.Link(id)
+				if lk.A != at && lk.B != at {
+					t.Fatalf("route %d->%d: link %d does not continue from node %d", a, b, id, at)
+				}
+				wantQoS = wantQoS.Add(lk.QoS)
+				wantCap = math.Min(wantCap, lk.Capacity)
+				at = m.otherEnd(id, at)
+			}
+			if at != b {
+				t.Fatalf("route %d->%d ends at %d", a, b, at)
+			}
+			if math.Abs(wantQoS.Delay-r.QoS.Delay) > 1e-9 || math.Abs(wantQoS.LossCost-r.QoS.LossCost) > 1e-9 {
+				t.Errorf("route %d->%d QoS %v, recomputed %v", a, b, r.QoS, wantQoS)
+			}
+			if wantCap != r.Capacity {
+				t.Errorf("route %d->%d capacity %v, recomputed %v", a, b, r.Capacity, wantCap)
+			}
+			if math.Abs(r.QoS.Delay-m.Delay(a, b)) > 1e-9 {
+				t.Errorf("route %d->%d delay %v != Delay() %v", a, b, r.QoS.Delay, m.Delay(a, b))
+			}
+		}
+	}
+}
+
+// TestRouteSymmetricDelay: with undirected links, shortest delays must be
+// symmetric.
+func TestRouteSymmetricDelay(t *testing.T) {
+	m := testMesh(t, 40, 8)
+	f := func(x, y uint8) bool {
+		a := int(x) % m.NumNodes()
+		b := int(y) % m.NumNodes()
+		return math.Abs(m.Delay(a, b)-m.Delay(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRouteTriangleInequality: shortest-path delays must satisfy
+// d(a,c) <= d(a,b) + d(b,c).
+func TestRouteTriangleInequality(t *testing.T) {
+	m := testMesh(t, 40, 9)
+	f := func(x, y, z uint8) bool {
+		a := int(x) % m.NumNodes()
+		b := int(y) % m.NumNodes()
+		c := int(z) % m.NumNodes()
+		return m.Delay(a, c) <= m.Delay(a, b)+m.Delay(b, c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	m1 := testMesh(t, 40, 10)
+	m2 := testMesh(t, 40, 10)
+	if m1.NumLinks() != m2.NumLinks() {
+		t.Fatalf("link counts differ: %d vs %d", m1.NumLinks(), m2.NumLinks())
+	}
+	for id := 0; id < m1.NumLinks(); id++ {
+		if m1.Link(id) != m2.Link(id) {
+			t.Fatalf("link %d differs: %+v vs %+v", id, m1.Link(id), m2.Link(id))
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package placement implements dynamic component placement — the third
+// future-work direction of the paper (§6): integrating component
+// migration with the composition system. A Manager periodically compares
+// node utilizations and migrates components from the hottest nodes to
+// the coldest, so subsequent compositions (which operate on the current
+// placement, footnote 1) find candidates where capacity actually is.
+//
+// Only the placement moves: running sessions keep their committed
+// resources on the original node until they close, exactly as a live
+// migration that drains old sessions would behave.
+package placement
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/metrics"
+	"repro/internal/state"
+)
+
+// Config tunes the migration policy.
+type Config struct {
+	// Period is the rebalance cycle length.
+	Period time.Duration
+	// UtilizationGap is the CPU-utilization difference between the
+	// hottest and coldest node that triggers a migration (0..1).
+	UtilizationGap float64
+	// MaxMovesPerCycle bounds migrations per rebalance pass.
+	MaxMovesPerCycle int
+}
+
+// DefaultConfig rebalances every 5 minutes, moving at most 4 components
+// when utilizations diverge by 40 points or more.
+func DefaultConfig() Config {
+	return Config{
+		Period:           5 * time.Minute,
+		UtilizationGap:   0.4,
+		MaxMovesPerCycle: 4,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("placement: Period %v <= 0", c.Period)
+	}
+	if c.UtilizationGap <= 0 || c.UtilizationGap >= 1 {
+		return fmt.Errorf("placement: UtilizationGap %v out of (0, 1)", c.UtilizationGap)
+	}
+	if c.MaxMovesPerCycle < 1 {
+		return fmt.Errorf("placement: MaxMovesPerCycle %d < 1", c.MaxMovesPerCycle)
+	}
+	return nil
+}
+
+// Manager migrates components between nodes.
+type Manager struct {
+	cfg      Config
+	catalog  *component.Catalog
+	ledger   *state.Ledger
+	counters *metrics.Counters
+	moves    int
+}
+
+// NewManager validates the configuration and builds a manager operating
+// on the given (mutable) catalog and resource ledger. Counters may be
+// nil.
+func NewManager(catalog *component.Catalog, ledger *state.Ledger, cfg Config, counters *metrics.Counters) (*Manager, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if catalog == nil || ledger == nil {
+		return nil, fmt.Errorf("placement: nil catalog or ledger")
+	}
+	if counters == nil {
+		counters = &metrics.Counters{}
+	}
+	return &Manager{cfg: cfg, catalog: catalog, ledger: ledger, counters: counters}, nil
+}
+
+// Period returns the configured rebalance period.
+func (m *Manager) Period() time.Duration { return m.cfg.Period }
+
+// Moves returns the total number of migrations performed.
+func (m *Manager) Moves() int { return m.moves }
+
+// utilization returns the node's committed CPU fraction.
+func (m *Manager) utilization(node int) float64 {
+	capacity := m.ledger.NodeCapacity(node)
+	if capacity.CPU <= 0 {
+		return 0
+	}
+	return 1 - m.ledger.NodeCommittedAvailable(node).CPU/capacity.CPU
+}
+
+// Rebalance performs one migration pass and returns the number of
+// components moved. Each move relocates one component from the hottest
+// node to the coldest available node; a migration costs two control
+// messages (drain notice + placement update).
+func (m *Manager) Rebalance() int {
+	moved := 0
+	for i := 0; i < m.cfg.MaxMovesPerCycle; i++ {
+		hot, cold := m.extremes()
+		if hot < 0 || cold < 0 {
+			break
+		}
+		if m.utilization(hot)-m.utilization(cold) < m.cfg.UtilizationGap {
+			break
+		}
+		donors := m.catalog.OnNode(hot)
+		if len(donors) == 0 {
+			break
+		}
+		// Move the last-listed component: the index update is O(1) and
+		// the choice within a node is immaterial to the policy.
+		id := donors[len(donors)-1]
+		if err := m.catalog.Move(id, cold); err != nil {
+			break
+		}
+		m.counters.Migrations += 2
+		m.moves++
+		moved++
+	}
+	return moved
+}
+
+// extremes returns the hottest node that still hosts a component and the
+// coldest available node, or -1s when the system is degenerate.
+func (m *Manager) extremes() (hot, cold int) {
+	hot, cold = -1, -1
+	var hotU, coldU float64
+	for node := 0; node < m.ledger.NumNodes(); node++ {
+		if !m.catalog.NodeIsAvailable(node) {
+			continue
+		}
+		u := m.utilization(node)
+		if len(m.catalog.OnNode(node)) > 0 && (hot < 0 || u > hotU) {
+			hot, hotU = node, u
+		}
+		if cold < 0 || u < coldU {
+			cold, coldU = node, u
+		}
+	}
+	if hot == cold {
+		return -1, -1
+	}
+	return hot, cold
+}

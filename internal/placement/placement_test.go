@@ -1,0 +1,202 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/metrics"
+	"repro/internal/overlay"
+	"repro/internal/qos"
+	"repro/internal/state"
+	"repro/internal/topology"
+)
+
+type clock struct{ now time.Duration }
+
+func (c *clock) Now() time.Duration { return c.now }
+
+func testSetup(t *testing.T) (*component.Catalog, *state.Ledger) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	tcfg := topology.DefaultConfig()
+	tcfg.Nodes = 200
+	g, err := topology.Generate(tcfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocfg := overlay.DefaultConfig()
+	ocfg.Nodes = 20
+	mesh, err := overlay.Build(g, ocfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := component.DefaultPlacementConfig()
+	pcfg.NumFunctions = 10
+	pcfg.ComponentsPerNode = 2
+	cat, err := component.Place(20, pcfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &clock{}
+	ledger := state.NewLedger(mesh, qos.Resources{CPU: 100, Memory: 1000}, clk.Now)
+	return cat, ledger
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	cat, ledger := testSetup(t)
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "zero period", mutate: func(c *Config) { c.Period = 0 }},
+		{name: "zero gap", mutate: func(c *Config) { c.UtilizationGap = 0 }},
+		{name: "gap of one", mutate: func(c *Config) { c.UtilizationGap = 1 }},
+		{name: "zero moves", mutate: func(c *Config) { c.MaxMovesPerCycle = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if _, err := NewManager(cat, ledger, cfg, nil); err == nil {
+				t.Error("NewManager accepted invalid config")
+			}
+		})
+	}
+	if _, err := NewManager(nil, ledger, DefaultConfig(), nil); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	if _, err := NewManager(cat, nil, DefaultConfig(), nil); err == nil {
+		t.Error("nil ledger accepted")
+	}
+}
+
+func TestRebalanceBalancedSystemIsQuiet(t *testing.T) {
+	cat, ledger := testSetup(t)
+	m, err := NewManager(cat, ledger, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved := m.Rebalance(); moved != 0 {
+		t.Errorf("balanced system migrated %d components", moved)
+	}
+}
+
+func TestRebalanceMovesFromHotNode(t *testing.T) {
+	cat, ledger := testSetup(t)
+	var c metrics.Counters
+	m, err := NewManager(cat, ledger, DefaultConfig(), &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate node 0 with committed sessions.
+	if err := ledger.CommitSession(1, map[int]qos.Resources{0: {CPU: 90, Memory: 900}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := len(cat.OnNode(0))
+	if before == 0 {
+		t.Skip("node 0 hosts no components under this seed")
+	}
+	moved := m.Rebalance()
+	if moved == 0 {
+		t.Fatal("no migration despite 90% vs 0% utilization")
+	}
+	if got := len(cat.OnNode(0)); got >= before {
+		t.Errorf("node 0 still hosts %d components, had %d", got, before)
+	}
+	if c.Migrations != int64(2*moved) {
+		t.Errorf("Migrations counter = %d for %d moves", c.Migrations, moved)
+	}
+	if m.Moves() != moved {
+		t.Errorf("Moves() = %d, want %d", m.Moves(), moved)
+	}
+}
+
+func TestRebalanceRespectsMaxMoves(t *testing.T) {
+	cat, ledger := testSetup(t)
+	cfg := DefaultConfig()
+	cfg.MaxMovesPerCycle = 1
+	m, err := NewManager(cat, ledger, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.CommitSession(1, map[int]qos.Resources{0: {CPU: 95, Memory: 900}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.CommitSession(2, map[int]qos.Resources{1: {CPU: 95, Memory: 900}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if moved := m.Rebalance(); moved > 1 {
+		t.Errorf("moved %d components, cap is 1", moved)
+	}
+}
+
+func TestRebalanceSkipsDownNodes(t *testing.T) {
+	cat, ledger := testSetup(t)
+	m, err := NewManager(cat, ledger, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.CommitSession(1, map[int]qos.Resources{0: {CPU: 90, Memory: 900}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Mark every node but the hot one down: no migration target exists.
+	for n := 1; n < ledger.NumNodes(); n++ {
+		cat.SetNodeAvailable(n, false)
+	}
+	if moved := m.Rebalance(); moved != 0 {
+		t.Errorf("migrated %d components to down nodes", moved)
+	}
+}
+
+func TestCatalogMoveUpdatesIndexes(t *testing.T) {
+	cat, _ := testSetup(t)
+	id := cat.OnNode(0)[0]
+	if err := cat.Move(id, 5); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Component(id).Node != 5 {
+		t.Errorf("component node = %d", cat.Component(id).Node)
+	}
+	for _, cid := range cat.OnNode(0) {
+		if cid == id {
+			t.Error("component still indexed on old node")
+		}
+	}
+	found := false
+	for _, cid := range cat.OnNode(5) {
+		if cid == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("component not indexed on new node")
+	}
+	// Idempotent move and error cases.
+	if err := cat.Move(id, 5); err != nil {
+		t.Errorf("same-node move: %v", err)
+	}
+	if err := cat.Move(component.ComponentID(-1), 5); err == nil {
+		t.Error("unknown component accepted")
+	}
+	if err := cat.Move(id, 999); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestCatalogCloneIndependence(t *testing.T) {
+	cat, _ := testSetup(t)
+	clone := cat.Clone()
+	id := cat.OnNode(0)[0]
+	if err := clone.Move(id, 3); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Component(id).Node == 3 {
+		t.Error("move on clone mutated the original")
+	}
+	clone.SetNodeAvailable(2, false)
+	if !cat.NodeIsAvailable(2) {
+		t.Error("availability change on clone mutated the original")
+	}
+}

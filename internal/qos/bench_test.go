@@ -1,0 +1,40 @@
+package qos
+
+import "testing"
+
+func BenchmarkVectorAdd(b *testing.B) {
+	v := Vector{Delay: 12, LossCost: 0.01}
+	w := Vector{Delay: 30, LossCost: 0.002}
+	for i := 0; i < b.N; i++ {
+		v = v.Add(w).Sub(w)
+	}
+	_ = v
+}
+
+func BenchmarkMaxRatio(b *testing.B) {
+	v := Vector{Delay: 150, LossCost: 0.04}
+	req := Vector{Delay: 300, LossCost: 0.1}
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += v.MaxRatio(req)
+	}
+	_ = sink
+}
+
+func BenchmarkCongestionTerm(b *testing.B) {
+	req := Resources{CPU: 10, Memory: 100}
+	residual := Resources{CPU: 40, Memory: 600}
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += CongestionTerm(req, residual)
+	}
+	_ = sink
+}
+
+func BenchmarkLossCostRoundTrip(b *testing.B) {
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += LossProb(LossCost(0.03))
+	}
+	_ = sink
+}

@@ -1,0 +1,188 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/qos"
+)
+
+// startPipeline wires the session's component graph into goroutines and
+// channels: one goroutine per composed component, one bounded channel
+// per dependency edge (the component input queues of §2.1), a merger in
+// front of join components, and duplication after split components.
+func (c *Cluster) startPipeline(s *session) {
+	graph := s.request.Graph
+	n := graph.NumPositions()
+
+	// One channel per graph edge.
+	edgeCh := make([]chan DataUnit, len(graph.Edges))
+	for i := range edgeCh {
+		edgeCh[i] = make(chan DataUnit, c.cfg.QueueSize)
+	}
+
+	var wg sync.WaitGroup
+	for pos := 0; pos < n; pos++ {
+		var ins []<-chan DataUnit
+		var outs []chan<- DataUnit
+		for i, e := range graph.Edges {
+			if e.To == pos {
+				ins = append(ins, edgeCh[i])
+			}
+			if e.From == pos {
+				outs = append(outs, edgeCh[i])
+			}
+		}
+		if len(ins) == 0 {
+			ins = []<-chan DataUnit{s.input} // source reads the session input
+		}
+		isSink := len(outs) == 0
+		if isSink {
+			outs = []chan<- DataUnit{s.output}
+		}
+
+		in := mergeStreams(&wg, s.quit, ins)
+		fn := s.procFn[pos]
+		delay := c.paceDelay(s, pos)
+		lossThreshold := c.lossThreshold(s, pos)
+
+		wg.Add(1)
+		go func(in <-chan DataUnit, outs []chan<- DataUnit, fn ProcessorFunc, delay time.Duration, pos int, isSink bool) {
+			defer wg.Done()
+			defer func() {
+				for _, out := range outs {
+					close(out)
+				}
+			}()
+			for {
+				var (
+					unit DataUnit
+					ok   bool
+				)
+				select {
+				case unit, ok = <-in:
+					if !ok {
+						return // input flushed: graceful drain
+					}
+				case <-s.quit:
+					return // forced teardown
+				}
+				if delay > 0 {
+					time.Sleep(delay)
+				}
+				if lossThreshold > 0 && unitHash(unit.Seq, pos) < lossThreshold {
+					// Simulated overload drop (footnote 2 of the paper);
+					// deterministic per (sequence, position).
+					atomic.AddInt64(&s.dropped[pos], 1)
+					continue
+				}
+				results := []DataUnit{unit}
+				if fn != nil {
+					results = fn(unit)
+				}
+				for _, r := range results {
+					atomic.AddInt64(&s.perComp[pos], 1)
+					if isSink {
+						atomic.AddInt64(&s.processd, 1)
+					}
+					// Splits duplicate the unit to every outgoing branch;
+					// quit unblocks sends into queues whose consumer has
+					// already torn down.
+					for _, out := range outs {
+						select {
+						case out <- r:
+						case <-s.quit:
+							return
+						}
+					}
+				}
+			}
+		}(in, outs, fn, delay, pos, isSink)
+	}
+
+	// The drain watcher closes done once every component goroutine has
+	// exited (all queues flushed).
+	go func() {
+		wg.Wait()
+		close(s.done)
+	}()
+}
+
+// mergeStreams funnels several input queues into one stream for join
+// components. A single input passes through untouched. Forwarders abort
+// on quit so a forced teardown cannot wedge them against a full merge
+// channel.
+func mergeStreams(wg *sync.WaitGroup, quit <-chan struct{}, ins []<-chan DataUnit) <-chan DataUnit {
+	if len(ins) == 1 {
+		return ins[0]
+	}
+	merged := make(chan DataUnit)
+	var inner sync.WaitGroup
+	for _, in := range ins {
+		inner.Add(1)
+		go func(in <-chan DataUnit) {
+			defer inner.Done()
+			for {
+				var (
+					unit DataUnit
+					ok   bool
+				)
+				select {
+				case unit, ok = <-in:
+					if !ok {
+						return
+					}
+				case <-quit:
+					return
+				}
+				select {
+				case merged <- unit:
+				case <-quit:
+					return
+				}
+			}
+		}(in)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		inner.Wait()
+		close(merged)
+	}()
+	return merged
+}
+
+// paceDelay converts a component's processing delay into a real sleep
+// per data unit, scaled by the cluster's Pace factor.
+func (c *Cluster) paceDelay(s *session, pos int) time.Duration {
+	if c.cfg.Pace <= 0 {
+		return 0
+	}
+	comp := c.catalog.Component(s.comp.Components[pos])
+	return time.Duration(comp.QoS.Delay * c.cfg.Pace * float64(time.Millisecond))
+}
+
+// lossThreshold maps the component's loss probability onto the 32-bit
+// hash space; 0 disables loss injection.
+func (c *Cluster) lossThreshold(s *session, pos int) uint32 {
+	if !c.cfg.SimulateLoss {
+		return 0
+	}
+	comp := c.catalog.Component(s.comp.Components[pos])
+	p := qos.LossProb(comp.QoS.LossCost)
+	return uint32(p * float64(1<<32-1))
+}
+
+// unitHash mixes a unit's sequence number with the processing position
+// (splitmix64 finaliser), giving deterministic per-unit loss decisions
+// without shared random state.
+func unitHash(seq int64, pos int) uint32 {
+	x := uint64(seq)*0x9E3779B97F4A7C15 + uint64(pos)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return uint32(x >> 32)
+}

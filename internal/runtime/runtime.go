@@ -1,0 +1,513 @@
+// Package runtime is the live, in-process counterpart of the simulator:
+// a distributed stream processing middleware offering the paper's
+// session-oriented interface (§2.2) — Find composes an application with
+// ACP, Process streams data units through the composed component graph,
+// and Close tears the session down.
+//
+// The control plane runs the same composition engine as the simulator
+// (internal/core), so the protocol evaluated by the experiments is
+// exactly the protocol deployed here. The data plane is built from
+// goroutines and channels: each composed component runs as its own
+// goroutine with bounded input queues, splits fan out, and joins merge —
+// the natural Go rendering of the paper's component graph with input
+// queues (Figure 1(b)).
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/core"
+	"repro/internal/discovery"
+	"repro/internal/metrics"
+	"repro/internal/overlay"
+	"repro/internal/qos"
+	"repro/internal/state"
+	"repro/internal/topology"
+	"repro/internal/tuning"
+)
+
+// ErrNoComposition is returned by Find when no qualified component
+// composition exists — the middleware's "null sessionId" (§2.2).
+var ErrNoComposition = errors.New("runtime: no qualified component composition")
+
+// ErrUnknownSession is returned for session IDs that were never issued
+// or have been closed.
+var ErrUnknownSession = errors.New("runtime: unknown session")
+
+// SessionID identifies a composed stream processing session.
+type SessionID int64
+
+// DataUnit is one element of a data stream (a tuple, sample, or frame).
+type DataUnit struct {
+	// Seq orders units within their source stream.
+	Seq int64
+	// Payload carries the application data.
+	Payload interface{}
+}
+
+// ProcessorFunc is the per-unit work of a stream processing function. It
+// returns the transformed output units: none to filter the unit out, one
+// for a map, several for a flat-map.
+type ProcessorFunc func(unit DataUnit) []DataUnit
+
+// Config sizes and tunes an in-process cluster.
+type Config struct {
+	// Seed drives topology, placement, and composition randomness.
+	Seed int64
+	// IPNodes, OverlayNodes, NeighborsPerNode size the network substrate.
+	IPNodes          int
+	OverlayNodes     int
+	NeighborsPerNode int
+	// NumFunctions and ComponentsPerNode control the deployment.
+	NumFunctions      int
+	ComponentsPerNode int
+	// NodeCapacity is the per-node end-system resource capacity.
+	NodeCapacity qos.Resources
+	// Algorithm and ProbingRatio configure the composition engine.
+	Algorithm    core.Algorithm
+	ProbingRatio float64
+	// QueueSize bounds each component's input queue (the paper's input
+	// queues absorb transient rate mismatch; §2.1). Default 64.
+	QueueSize int
+	// Pace scales realistic per-unit processing sleep: each component
+	// sleeps Pace x its QoS processing delay per unit. 0 disables
+	// sleeping (full-speed processing).
+	Pace float64
+	// SimulateLoss drops data units at each component with the
+	// component's modelled loss probability. Drops are a deterministic
+	// function of (unit sequence, component), so runs are reproducible
+	// despite concurrency.
+	SimulateLoss bool
+}
+
+// DefaultConfig returns a laptop-sized cluster: 64 stream nodes over a
+// 512-node IP graph with two components per node.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		IPNodes:           512,
+		OverlayNodes:      64,
+		NeighborsPerNode:  5,
+		NumFunctions:      16,
+		ComponentsPerNode: 2,
+		NodeCapacity:      qos.Resources{CPU: 100, Memory: 1000},
+		Algorithm:         core.AlgACP,
+		ProbingRatio:      0.5,
+		QueueSize:         64,
+	}
+}
+
+// session is one live composed application.
+type session struct {
+	id       SessionID
+	request  *component.Request
+	comp     *core.Composition
+	running  bool
+	input    chan DataUnit
+	output   chan DataUnit
+	quit     chan struct{} // closed by Close to force teardown
+	quitOnce sync.Once
+	done     chan struct{} // closed when the pipeline drains
+	procFn   []ProcessorFunc
+	processd int64
+	perComp  []int64 // units emitted per position (atomic)
+	dropped  []int64 // units lost per position (atomic)
+}
+
+// Cluster is an in-process distributed stream processing system.
+type Cluster struct {
+	cfg      Config
+	mesh     *overlay.Mesh
+	catalog  *component.Catalog
+	counters *metrics.Counters
+
+	mu        sync.Mutex
+	ledger    *state.Ledger
+	composer  *core.Composer
+	rng       *rand.Rand
+	functions map[component.FunctionID]ProcessorFunc
+	sessions  map[SessionID]*session
+	nextID    SessionID
+	nextReq   int64
+	start     time.Time
+	closed    bool
+
+	tuner       tuning.RatioTuner
+	tuneEvery   int
+	tuneSuccess int
+	tuneTotal   int
+}
+
+// NewCluster builds the network substrate, deploys components, and
+// starts the composition engine.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.Pace < 0 {
+		return nil, fmt.Errorf("runtime: negative Pace %v", cfg.Pace)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	tcfg := topology.DefaultConfig()
+	tcfg.Nodes = cfg.IPNodes
+	graph, err := topology.Generate(tcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	ocfg := overlay.DefaultConfig()
+	ocfg.Nodes = cfg.OverlayNodes
+	ocfg.NeighborsPerNode = cfg.NeighborsPerNode
+	mesh, err := overlay.Build(graph, ocfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := component.DefaultPlacementConfig()
+	pcfg.NumFunctions = cfg.NumFunctions
+	pcfg.ComponentsPerNode = cfg.ComponentsPerNode
+	catalog, err := component.Place(mesh.NumNodes(), pcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		cfg:       cfg,
+		mesh:      mesh,
+		catalog:   catalog,
+		counters:  &metrics.Counters{},
+		rng:       rng,
+		functions: make(map[component.FunctionID]ProcessorFunc),
+		sessions:  make(map[SessionID]*session),
+		start:     time.Now(),
+	}
+	c.ledger = state.NewLedger(mesh, cfg.NodeCapacity, c.now)
+	global, err := state.NewGlobal(c.ledger, mesh, state.DefaultGlobalConfig(), c.counters)
+	if err != nil {
+		return nil, err
+	}
+	env := core.Env{
+		Mesh:     mesh,
+		Catalog:  catalog,
+		Registry: discovery.NewRegistry(catalog, mesh.NumNodes(), c.counters),
+		Ledger:   c.ledger,
+		Global:   global,
+		Counters: c.counters,
+		Now:      c.now,
+		Rand:     rng,
+	}
+	ccfg := core.DefaultConfig()
+	if cfg.Algorithm != 0 {
+		ccfg.Algorithm = cfg.Algorithm
+	}
+	if cfg.ProbingRatio != 0 {
+		ccfg.ProbingRatio = cfg.ProbingRatio
+	}
+	composer, err := core.NewComposer(env, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	c.composer = composer
+	return c, nil
+}
+
+// now supplies monotonic wall-clock time to the ledger's hold expiry.
+func (c *Cluster) now() time.Duration { return time.Since(c.start) }
+
+// EnableSelfTuning attaches a PI probing-ratio controller to the
+// cluster: every windowRequests Find calls, the observed composition
+// success rate drives one control step toward the target (§3.4 made
+// live; the controller is §6's control-theoretic variant, which needs no
+// trace replay). Call before issuing Finds.
+func (c *Cluster) EnableSelfTuning(target float64, windowRequests int) error {
+	if windowRequests < 1 {
+		return fmt.Errorf("runtime: windowRequests %d < 1", windowRequests)
+	}
+	cfg := tuning.DefaultPIConfig()
+	cfg.Target = target
+	cfg.Base = c.composer.ProbingRatio()
+	if cfg.Base < cfg.Min {
+		cfg.Base = cfg.Min
+	}
+	controller, err := tuning.NewPIController(cfg)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tuner = controller
+	c.tuneEvery = windowRequests
+	c.tuneSuccess, c.tuneTotal = 0, 0
+	return nil
+}
+
+// ProbingRatio returns the composition engine's current probing ratio.
+func (c *Cluster) ProbingRatio() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.composer.ProbingRatio()
+}
+
+// observeFind feeds the tuner; the caller holds c.mu.
+func (c *Cluster) observeFind(success bool) {
+	if c.tuner == nil {
+		return
+	}
+	c.tuneTotal++
+	if success {
+		c.tuneSuccess++
+	}
+	if c.tuneTotal < c.tuneEvery {
+		return
+	}
+	rate := float64(c.tuneSuccess) / float64(c.tuneTotal)
+	c.tuneSuccess, c.tuneTotal = 0, 0
+	if c.tuner.Observe(rate) {
+		// The PI output is clamped to (0, 1]; SetProbingRatio cannot fail.
+		if err := c.composer.SetProbingRatio(c.tuner.Ratio()); err != nil {
+			c.tuner = nil // defensive: disable rather than wedge
+		}
+	}
+}
+
+// RegisterFunction installs the per-unit processing work for a stream
+// processing function. Unregistered functions behave as identity.
+func (c *Cluster) RegisterFunction(f component.FunctionID, fn ProcessorFunc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.functions[f] = fn
+}
+
+// NumNodes returns the overlay size.
+func (c *Cluster) NumNodes() int { return c.mesh.NumNodes() }
+
+// Counters returns a snapshot of the control-plane message counters.
+func (c *Cluster) Counters() metrics.Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return *c.counters
+}
+
+// Find invokes the optimal component composition algorithm for the
+// requested function graph, QoS, and resource requirements (§2.2). On
+// success it commits the composition and returns a session identifier;
+// if no qualified composition exists it returns ErrNoComposition.
+func (c *Cluster) Find(graph *component.Graph, qosReq qos.Vector, resReq []qos.Resources, bandwidthKbps float64) (SessionID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, errors.New("runtime: cluster is shut down")
+	}
+
+	c.nextReq++
+	req := &component.Request{
+		ID:           c.nextReq,
+		Graph:        graph,
+		QoSReq:       qosReq,
+		ResReq:       append([]qos.Resources(nil), resReq...),
+		BandwidthReq: bandwidthKbps,
+		Client:       c.rng.Intn(c.mesh.NumNodes()),
+		Duration:     time.Hour, // sessions live until Close
+	}
+	outcome, err := c.composer.Probe(req)
+	if err != nil {
+		return 0, err
+	}
+	if !outcome.Success() {
+		c.observeFind(false)
+		return 0, ErrNoComposition
+	}
+	if err := c.composer.Commit(outcome); err != nil {
+		c.composer.Abort(req.ID)
+		c.observeFind(false)
+		return 0, fmt.Errorf("runtime: commit: %w", err)
+	}
+	c.observeFind(true)
+
+	c.nextID++
+	id := c.nextID
+	procFn := make([]ProcessorFunc, graph.NumPositions())
+	for pos, f := range graph.Functions {
+		procFn[pos] = c.functions[f] // nil = identity
+	}
+	c.sessions[id] = &session{
+		id:      id,
+		request: req,
+		comp:    outcome.Best,
+		procFn:  procFn,
+		perComp: make([]int64, graph.NumPositions()),
+		dropped: make([]int64, graph.NumPositions()),
+	}
+	return id, nil
+}
+
+// Composition describes a session's composed component graph.
+type Composition struct {
+	// Components lists (position, component, node) assignments.
+	Components []PlacedComponent
+	// QoS is the composed application's aggregated QoS.
+	QoS qos.Vector
+	// Phi is the congestion aggregation metric at composition time.
+	Phi float64
+}
+
+// PlacedComponent is one composed component placement.
+type PlacedComponent struct {
+	Position  int
+	Function  component.FunctionID
+	Component component.ComponentID
+	Node      int
+}
+
+// Describe reports a session's composition.
+func (c *Cluster) Describe(id SessionID) (Composition, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sessions[id]
+	if !ok {
+		return Composition{}, ErrUnknownSession
+	}
+	out := Composition{QoS: s.comp.QoS, Phi: s.comp.Phi}
+	for pos, cid := range s.comp.Components {
+		comp := c.catalog.Component(cid)
+		out.Components = append(out.Components, PlacedComponent{
+			Position:  pos,
+			Function:  comp.Function,
+			Component: cid,
+			Node:      comp.Node,
+		})
+	}
+	return out, nil
+}
+
+// Process starts the session's continuous data stream processing (§2.2):
+// it wires one goroutine per composed component with bounded input
+// queues and returns the channel pair to feed and drain. Close the input
+// channel to flush the pipeline; the output channel closes once every
+// unit has drained. Process can be called once per session.
+func (c *Cluster) Process(id SessionID) (chan<- DataUnit, <-chan DataUnit, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sessions[id]
+	if !ok {
+		return nil, nil, ErrUnknownSession
+	}
+	if s.running {
+		return nil, nil, fmt.Errorf("runtime: session %d already processing", id)
+	}
+	s.running = true
+	s.input = make(chan DataUnit, c.cfg.QueueSize)
+	s.output = make(chan DataUnit, c.cfg.QueueSize)
+	s.quit = make(chan struct{})
+	s.done = make(chan struct{})
+	c.startPipeline(s)
+	return s.input, s.output, nil
+}
+
+// Processed returns how many data units the session's sink has emitted.
+func (c *Cluster) Processed(id SessionID) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sessions[id]
+	if !ok {
+		return 0, ErrUnknownSession
+	}
+	return atomic.LoadInt64(&s.processd), nil
+}
+
+// SessionStats reports per-component data-plane counters.
+type SessionStats struct {
+	// Emitted counts output units per graph position.
+	Emitted []int64
+	// Dropped counts units lost to simulated loss per graph position.
+	Dropped []int64
+	// SinkEmitted is the sink's total output.
+	SinkEmitted int64
+}
+
+// Stats returns the session's data-plane counters. Safe to call while
+// the pipeline runs; values are monotone snapshots.
+func (c *Cluster) Stats(id SessionID) (SessionStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sessions[id]
+	if !ok {
+		return SessionStats{}, ErrUnknownSession
+	}
+	st := SessionStats{
+		Emitted:     make([]int64, len(s.perComp)),
+		Dropped:     make([]int64, len(s.dropped)),
+		SinkEmitted: atomic.LoadInt64(&s.processd),
+	}
+	for i := range s.perComp {
+		st.Emitted[i] = atomic.LoadInt64(&s.perComp[i])
+		st.Dropped[i] = atomic.LoadInt64(&s.dropped[i])
+	}
+	return st, nil
+}
+
+// Close tears down a stream processing session (§2.2) and releases its
+// resources. Closing the session's input channel first flushes the
+// pipeline gracefully; Close on a session whose input is still open
+// forces teardown, discarding in-flight units. Close never touches the
+// caller-owned input channel, so a producer that keeps sending after
+// Close simply blocks — stop producing before (or promptly after)
+// closing the session.
+func (c *Cluster) Close(id SessionID) error {
+	c.mu.Lock()
+	s, ok := c.sessions[id]
+	if !ok {
+		c.mu.Unlock()
+		return ErrUnknownSession
+	}
+	delete(c.sessions, id)
+	c.mu.Unlock()
+
+	if s.running {
+		// Force teardown of components still waiting on input, and drain
+		// whatever the caller left in the output queue so the sink can
+		// flush — otherwise an abandoned output channel would deadlock
+		// the teardown. Then wait for every component goroutine to exit.
+		s.quitOnce.Do(func() { close(s.quit) })
+		go func() {
+			for range s.output {
+			}
+		}()
+		<-s.done
+	}
+
+	c.mu.Lock()
+	c.composer.Release(s.request.ID)
+	c.mu.Unlock()
+	return nil
+}
+
+// Shutdown closes every live session and stops the cluster.
+func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	ids := make([]SessionID, 0, len(c.sessions))
+	for id := range c.sessions {
+		ids = append(ids, id)
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, id := range ids {
+		// Unknown sessions (racing closes) are fine to skip.
+		if err := c.Close(id); err != nil && !errors.Is(err, ErrUnknownSession) {
+			// Close only fails for unknown sessions; nothing to do.
+			continue
+		}
+	}
+}
+
+// ActiveSessions returns the number of live sessions.
+func (c *Cluster) ActiveSessions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sessions)
+}

@@ -1,0 +1,637 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/qos"
+)
+
+func testCluster(t *testing.T) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.IPNodes = 256
+	cfg.OverlayNodes = 32
+	cfg.NumFunctions = 8
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func easyArgs(n int) (qos.Vector, []qos.Resources, float64) {
+	res := make([]qos.Resources, n)
+	for i := range res {
+		res[i] = qos.Resources{CPU: 5, Memory: 50}
+	}
+	return qos.Vector{Delay: 100000, LossCost: qos.LossCost(0.9)}, res, 50
+}
+
+func TestFindComposesSession(t *testing.T) {
+	c := testCluster(t)
+	graph := component.NewPathGraph([]component.FunctionID{0, 1, 2})
+	qosReq, resReq, bw := easyArgs(3)
+	id, err := c.Find(graph, qosReq, resReq, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("zero session id")
+	}
+	desc, err := c.Describe(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc.Components) != 3 {
+		t.Fatalf("composition has %d components", len(desc.Components))
+	}
+	for pos, pc := range desc.Components {
+		if pc.Function != graph.Functions[pos] {
+			t.Errorf("position %d provides function %d, want %d", pos, pc.Function, graph.Functions[pos])
+		}
+	}
+	if desc.Phi <= 0 {
+		t.Errorf("phi = %v", desc.Phi)
+	}
+	if c.ActiveSessions() != 1 {
+		t.Errorf("ActiveSessions = %d", c.ActiveSessions())
+	}
+	if err := c.Close(id); err != nil {
+		t.Fatal(err)
+	}
+	if c.ActiveSessions() != 0 {
+		t.Errorf("ActiveSessions after close = %d", c.ActiveSessions())
+	}
+}
+
+func TestFindNoComposition(t *testing.T) {
+	c := testCluster(t)
+	graph := component.NewPathGraph([]component.FunctionID{0, 1})
+	qosReq, _, bw := easyArgs(2)
+	// Impossible resource demand.
+	res := []qos.Resources{{CPU: 1e9}, {CPU: 1e9}}
+	if _, err := c.Find(graph, qosReq, res, bw); !errors.Is(err, ErrNoComposition) {
+		t.Fatalf("err = %v, want ErrNoComposition", err)
+	}
+}
+
+func TestProcessIdentityPipeline(t *testing.T) {
+	c := testCluster(t)
+	graph := component.NewPathGraph([]component.FunctionID{0, 1, 2})
+	qosReq, resReq, bw := easyArgs(3)
+	id, err := c.Find(graph, qosReq, resReq, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out, err := c.Process(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const units = 100
+	go func() {
+		for i := 0; i < units; i++ {
+			in <- DataUnit{Seq: int64(i), Payload: i}
+		}
+		close(in)
+	}()
+	var got []DataUnit
+	for u := range out {
+		got = append(got, u)
+	}
+	if len(got) != units {
+		t.Fatalf("received %d units, want %d", len(got), units)
+	}
+	// A pure path pipeline preserves order.
+	for i, u := range got {
+		if u.Seq != int64(i) {
+			t.Fatalf("unit %d has seq %d", i, u.Seq)
+		}
+	}
+	n, err := c.Processed(id)
+	if err != nil || n != units {
+		t.Errorf("Processed = %d, %v", n, err)
+	}
+	if err := c.Close(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessWithFunctions(t *testing.T) {
+	c := testCluster(t)
+	// Function 0: double the value. Function 1: filter odd values.
+	c.RegisterFunction(0, func(u DataUnit) []DataUnit {
+		u.Payload = u.Payload.(int) * 2
+		return []DataUnit{u}
+	})
+	c.RegisterFunction(1, func(u DataUnit) []DataUnit {
+		if u.Payload.(int)%4 == 0 {
+			return []DataUnit{u}
+		}
+		return nil
+	})
+	graph := component.NewPathGraph([]component.FunctionID{0, 1})
+	qosReq, resReq, bw := easyArgs(2)
+	id, err := c.Find(graph, qosReq, resReq, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out, err := c.Process(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for i := 0; i < 10; i++ {
+			in <- DataUnit{Seq: int64(i), Payload: i}
+		}
+		close(in)
+	}()
+	var vals []int
+	for u := range out {
+		vals = append(vals, u.Payload.(int))
+	}
+	// Inputs 0..9 doubled: 0,2,4,...,18; filtered to multiples of 4.
+	want := []int{0, 4, 8, 12, 16}
+	if len(vals) != len(want) {
+		t.Fatalf("values = %v, want %v", vals, want)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("values = %v, want %v", vals, want)
+		}
+	}
+	if err := c.Close(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessDAGPipeline(t *testing.T) {
+	c := testCluster(t)
+	graph, err := component.NewBranchGraph(0, []component.FunctionID{1}, []component.FunctionID{2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tag each branch so the join sees both copies.
+	c.RegisterFunction(1, func(u DataUnit) []DataUnit {
+		return []DataUnit{{Seq: u.Seq, Payload: "left"}}
+	})
+	c.RegisterFunction(2, func(u DataUnit) []DataUnit {
+		return []DataUnit{{Seq: u.Seq, Payload: "right"}}
+	})
+	qosReq, resReq, bw := easyArgs(4)
+	id, err := c.Find(graph, qosReq, resReq, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out, err := c.Process(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const units = 50
+	go func() {
+		for i := 0; i < units; i++ {
+			in <- DataUnit{Seq: int64(i)}
+		}
+		close(in)
+	}()
+	counts := map[string]int{}
+	total := 0
+	for u := range out {
+		counts[u.Payload.(string)]++
+		total++
+	}
+	// The split duplicates every unit down both branches; the join merges
+	// them: 2x units at the sink.
+	if total != 2*units {
+		t.Fatalf("sink received %d units, want %d", total, 2*units)
+	}
+	if counts["left"] != units || counts["right"] != units {
+		t.Fatalf("branch counts = %v", counts)
+	}
+	if err := c.Close(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessTwiceFails(t *testing.T) {
+	c := testCluster(t)
+	graph := component.NewPathGraph([]component.FunctionID{0, 1})
+	qosReq, resReq, bw := easyArgs(2)
+	id, err := c.Find(graph, qosReq, resReq, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Process(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Process(id); err == nil {
+		t.Error("second Process accepted")
+	}
+}
+
+func TestUnknownSessionErrors(t *testing.T) {
+	c := testCluster(t)
+	if _, err := c.Describe(99); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("Describe: %v", err)
+	}
+	if _, _, err := c.Process(99); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("Process: %v", err)
+	}
+	if err := c.Close(99); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := c.Processed(99); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("Processed: %v", err)
+	}
+}
+
+func TestCloseReleasesResources(t *testing.T) {
+	c := testCluster(t)
+	graph := component.NewPathGraph([]component.FunctionID{0, 1, 2})
+	qosReq, resReq, bw := easyArgs(3)
+
+	// Compose and close repeatedly: resources must not leak, so the
+	// same request keeps succeeding indefinitely.
+	for i := 0; i < 30; i++ {
+		id, err := c.Find(graph, qosReq, resReq, bw)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if err := c.Close(id); err != nil {
+			t.Fatalf("iteration %d close: %v", i, err)
+		}
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	c := testCluster(t)
+	graph := component.NewPathGraph([]component.FunctionID{0, 1})
+	qosReq, resReq, bw := easyArgs(2)
+
+	const sessions = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			id, err := c.Find(graph, qosReq, resReq, bw)
+			if err != nil {
+				errs <- fmt.Errorf("session %d find: %w", s, err)
+				return
+			}
+			in, out, err := c.Process(id)
+			if err != nil {
+				errs <- fmt.Errorf("session %d process: %w", s, err)
+				return
+			}
+			go func() {
+				for i := 0; i < 50; i++ {
+					in <- DataUnit{Seq: int64(i)}
+				}
+				close(in)
+			}()
+			count := 0
+			for range out {
+				count++
+			}
+			if count != 50 {
+				errs <- fmt.Errorf("session %d drained %d units", s, count)
+				return
+			}
+			errs <- c.Close(id)
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestShutdownClosesSessions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IPNodes = 256
+	cfg.OverlayNodes = 32
+	cfg.NumFunctions = 8
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph := component.NewPathGraph([]component.FunctionID{0, 1})
+	qosReq, resReq, bw := easyArgs(2)
+	if _, err := c.Find(graph, qosReq, resReq, bw); err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	if c.ActiveSessions() != 0 {
+		t.Errorf("sessions after shutdown = %d", c.ActiveSessions())
+	}
+	if _, err := c.Find(graph, qosReq, resReq, bw); err == nil {
+		t.Error("Find accepted after shutdown")
+	}
+}
+
+func TestPaceSlowsProcessing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IPNodes = 256
+	cfg.OverlayNodes = 32
+	cfg.NumFunctions = 8
+	cfg.Pace = 0.01 // 1% of the modelled per-unit delay
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	graph := component.NewPathGraph([]component.FunctionID{0, 1})
+	qosReq, resReq, bw := easyArgs(2)
+	id, err := c.Find(graph, qosReq, resReq, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out, err := c.Process(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for i := 0; i < 5; i++ {
+			in <- DataUnit{Seq: int64(i)}
+		}
+		close(in)
+	}()
+	count := 0
+	for range out {
+		count++
+	}
+	if count != 5 {
+		t.Fatalf("drained %d units", count)
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Pace = -1
+	if _, err := NewCluster(cfg); err == nil {
+		t.Error("negative pace accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.OverlayNodes = cfg.IPNodes + 1
+	if _, err := NewCluster(cfg); err == nil {
+		t.Error("oversized overlay accepted")
+	}
+}
+
+func TestCountersAdvance(t *testing.T) {
+	c := testCluster(t)
+	before := c.Counters()
+	graph := component.NewPathGraph([]component.FunctionID{0, 1})
+	qosReq, resReq, bw := easyArgs(2)
+	id, err := c.Find(graph, qosReq, resReq, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close(id)
+	after := c.Counters()
+	if after.Probes <= before.Probes {
+		t.Error("probe counter did not advance")
+	}
+	if after.Confirmations != before.Confirmations+2 {
+		t.Errorf("confirmations advanced by %d, want 2", after.Confirmations-before.Confirmations)
+	}
+}
+
+func TestStatsPerComponent(t *testing.T) {
+	c := testCluster(t)
+	// Function 1 filters out odd sequence numbers.
+	c.RegisterFunction(1, func(u DataUnit) []DataUnit {
+		if u.Seq%2 == 0 {
+			return []DataUnit{u}
+		}
+		return nil
+	})
+	graph := component.NewPathGraph([]component.FunctionID{0, 1, 2})
+	qosReq, resReq, bw := easyArgs(3)
+	id, err := c.Find(graph, qosReq, resReq, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out, err := c.Process(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for i := 0; i < 100; i++ {
+			in <- DataUnit{Seq: int64(i)}
+		}
+		close(in)
+	}()
+	for range out {
+	}
+	st, err := c.Stats(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Emitted[0] != 100 {
+		t.Errorf("position 0 emitted %d, want 100", st.Emitted[0])
+	}
+	if st.Emitted[1] != 50 {
+		t.Errorf("position 1 emitted %d, want 50 (filter)", st.Emitted[1])
+	}
+	if st.Emitted[2] != 50 || st.SinkEmitted != 50 {
+		t.Errorf("sink emitted %d/%d, want 50", st.Emitted[2], st.SinkEmitted)
+	}
+	for pos, d := range st.Dropped {
+		if d != 0 {
+			t.Errorf("position %d dropped %d units without loss simulation", pos, d)
+		}
+	}
+	if err := c.Close(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stats(id); err == nil {
+		t.Error("Stats after close accepted")
+	}
+}
+
+func TestSimulatedLossDropsUnits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IPNodes = 256
+	cfg.OverlayNodes = 32
+	cfg.NumFunctions = 8
+	cfg.SimulateLoss = true
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	graph := component.NewPathGraph([]component.FunctionID{0, 1, 2})
+	qosReq, resReq, bw := easyArgs(3)
+	id, err := c.Find(graph, qosReq, resReq, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out, err := c.Process(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const units = 5000
+	go func() {
+		for i := 0; i < units; i++ {
+			in <- DataUnit{Seq: int64(i)}
+		}
+		close(in)
+	}()
+	received := 0
+	for range out {
+		received++
+	}
+	st, err := c.Stats(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalDropped := int64(0)
+	for _, d := range st.Dropped {
+		totalDropped += d
+	}
+	if totalDropped == 0 {
+		t.Error("loss simulation dropped nothing over 5000 units")
+	}
+	if int64(received)+totalDropped != units {
+		t.Errorf("received %d + dropped %d != %d", received, totalDropped, units)
+	}
+	// Component loss rates are 0.1-1%: total loss over 3 hops must stay
+	// in the low percent range.
+	if totalDropped > units/10 {
+		t.Errorf("dropped %d of %d — loss far above modelled rates", totalDropped, units)
+	}
+	if err := c.Close(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatedLossDeterministic(t *testing.T) {
+	runOnce := func() int64 {
+		cfg := DefaultConfig()
+		cfg.IPNodes = 256
+		cfg.OverlayNodes = 32
+		cfg.NumFunctions = 8
+		cfg.SimulateLoss = true
+		c, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Shutdown()
+		graph := component.NewPathGraph([]component.FunctionID{0, 1})
+		qosReq, resReq, bw := easyArgs(2)
+		id, err := c.Find(graph, qosReq, resReq, bw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, out, err := c.Process(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for i := 0; i < 2000; i++ {
+				in <- DataUnit{Seq: int64(i)}
+			}
+			close(in)
+		}()
+		var n int64
+		for range out {
+			n++
+		}
+		return n
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Errorf("loss not deterministic: %d vs %d delivered", a, b)
+	}
+}
+
+func TestSelfTuningAdjustsRatio(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IPNodes = 256
+	cfg.OverlayNodes = 32
+	cfg.NumFunctions = 8
+	cfg.ProbingRatio = 0.2
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.EnableSelfTuning(0.95, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if err := c.EnableSelfTuning(0.95, 5); err != nil {
+		t.Fatal(err)
+	}
+	start := c.ProbingRatio()
+
+	graph := component.NewPathGraph([]component.FunctionID{0, 1})
+	qosReq, resReq, _ := easyArgs(2)
+	// Impossible bandwidth forces failures: the controller must raise
+	// the ratio chasing the unreachable target.
+	for i := 0; i < 15; i++ {
+		_, err := c.Find(graph, qosReq, resReq, 1e12)
+		if !errors.Is(err, ErrNoComposition) {
+			t.Fatalf("unexpected: %v", err)
+		}
+	}
+	if got := c.ProbingRatio(); got <= start {
+		t.Errorf("ratio did not rise under failures: %v -> %v", start, got)
+	}
+
+	// Now all-success traffic relaxes it again.
+	raised := c.ProbingRatio()
+	for i := 0; i < 40; i++ {
+		id, err := c.Find(graph, qosReq, resReq, 10)
+		if err != nil {
+			t.Fatalf("find %d: %v", i, err)
+		}
+		if err := c.Close(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.ProbingRatio(); got >= raised {
+		t.Errorf("ratio did not relax under success: %v -> %v", raised, got)
+	}
+}
+
+func TestCloseWithoutDrainingOutput(t *testing.T) {
+	c := testCluster(t)
+	graph := component.NewPathGraph([]component.FunctionID{0, 1})
+	qosReq, resReq, bw := easyArgs(2)
+	id, err := c.Find(graph, qosReq, resReq, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _, err := c.Process(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push far more units than the queues hold, never read the output,
+	// and close: teardown must not deadlock.
+	go func() {
+		for i := 0; i < 1000; i++ {
+			in <- DataUnit{Seq: int64(i)}
+		}
+		close(in)
+	}()
+	done := make(chan error, 1)
+	go func() { done <- c.Close(id) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked on an undrained session")
+	}
+}

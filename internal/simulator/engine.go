@@ -1,0 +1,110 @@
+// Package simulator provides the deterministic discrete-event engine that
+// drives the composition experiments, substituting for the paper's
+// event-driven C++ simulator (§4.1).
+//
+// The engine keeps a virtual clock and a priority queue of timestamped
+// callbacks. Events at equal timestamps run in scheduling (FIFO) order, so
+// a run is reproducible for a given seed and event program.
+package simulator
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{} // release the closure for GC
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event executor. It is not safe for
+// concurrent use; all callbacks run on the caller's goroutine.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+}
+
+// New returns an engine with its clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of scheduled, not-yet-run events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule enqueues fn to run after delay. A negative delay is an error;
+// a zero delay runs fn on the next Step at the current time, after any
+// previously scheduled events for that instant.
+func (e *Engine) Schedule(delay time.Duration, fn func()) error {
+	if delay < 0 {
+		return fmt.Errorf("simulator: negative delay %v", delay)
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt enqueues fn to run at the absolute virtual time at, which
+// must not be in the past.
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) error {
+	if at < e.now {
+		return fmt.Errorf("simulator: schedule at %v before now %v", at, e.now)
+	}
+	if fn == nil {
+		return fmt.Errorf("simulator: nil event callback")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	return nil
+}
+
+// Step runs the earliest pending event, advancing the clock to its
+// timestamp. It returns false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil executes every event scheduled at or before deadline, then
+// advances the clock to the deadline even if the queue drained earlier.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// Run drains the event queue completely.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

@@ -1,0 +1,147 @@
+package simulator
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	add := func(delay time.Duration, id int) {
+		if err := e.Schedule(delay, func() { got = append(got, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(3*time.Second, 3)
+	add(1*time.Second, 1)
+	add(2*time.Second, 2)
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+}
+
+func TestScheduleTieBreakFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		id := i
+		if err := e.Schedule(time.Second, func() { got = append(got, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	e := New()
+	if err := e.Schedule(-time.Second, func() {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if err := e.Schedule(time.Second, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+	if err := e.Schedule(time.Second, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if err := e.ScheduleAt(0, func() {}); err == nil {
+		t.Error("scheduling in the past accepted")
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	e := New()
+	var times []time.Duration
+	var tick func()
+	tick = func() {
+		times = append(times, e.Now())
+		if e.Now() < 5*time.Second {
+			if err := e.Schedule(time.Second, tick); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := e.Schedule(time.Second, tick); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if len(times) != 5 {
+		t.Fatalf("ticks = %v, want 5 entries", times)
+	}
+	for i, at := range times {
+		if at != time.Duration(i+1)*time.Second {
+			t.Fatalf("tick %d at %v", i, at)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	ran := 0
+	for i := 1; i <= 10; i++ {
+		if err := e.Schedule(time.Duration(i)*time.Second, func() { ran++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunUntil(4 * time.Second)
+	if ran != 4 {
+		t.Errorf("ran = %d, want 4", ran)
+	}
+	if e.Now() != 4*time.Second {
+		t.Errorf("Now = %v, want 4s", e.Now())
+	}
+	if e.Pending() != 6 {
+		t.Errorf("Pending = %d, want 6", e.Pending())
+	}
+	// Advancing past the queue moves the clock to the deadline.
+	e.RunUntil(20 * time.Second)
+	if ran != 10 || e.Now() != 20*time.Second {
+		t.Errorf("after drain: ran=%d now=%v", ran, e.Now())
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Error("Step on empty engine returned true")
+	}
+}
+
+// TestClockMonotone: event execution times must be non-decreasing no
+// matter the scheduling order.
+func TestClockMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var times []time.Duration
+		for i := 0; i < 50; i++ {
+			err := e.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, func() {
+				times = append(times, e.Now())
+			})
+			if err != nil {
+				return false
+			}
+		}
+		e.Run()
+		return sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,428 @@
+// Package state implements the system's resource ground truth (the
+// ledger) and the paper's hierarchical state management (§3.2):
+// fine-grain precise local state plus a coarse-grain global state updated
+// only on significant variations, with virtual-link states aggregated by
+// a rotating aggregation node.
+package state
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/overlay"
+	"repro/internal/qos"
+)
+
+// Owner identifies the request (during probing) or session (after setup)
+// that resources belong to.
+type Owner int64
+
+type nodeHold struct {
+	owner   Owner
+	tag     int // distinguishes components of one request (footnote 7)
+	amount  qos.Resources
+	expires time.Duration
+}
+
+type linkHold struct {
+	owner   Owner
+	tag     int // distinguishes virtual links of one request
+	amount  float64
+	expires time.Duration
+}
+
+type nodeLedger struct {
+	capacity  qos.Resources
+	committed qos.Resources
+	held      qos.Resources
+	holds     []nodeHold
+}
+
+type linkLedger struct {
+	capacity  float64
+	committed float64
+	held      float64
+	holds     []linkHold
+}
+
+type sessionAlloc struct {
+	nodes map[int]qos.Resources
+	links map[int]float64
+}
+
+// Ledger is the authoritative record of end-system resources per overlay
+// node and bandwidth per overlay link. It distinguishes committed session
+// allocations from transient holds placed by probes (§3.3 step 2):
+// transient holds expire after a timeout unless promoted by a session
+// confirmation, preventing conflicting admissions by concurrent probings.
+//
+// Ledger is not safe for concurrent use; the discrete-event simulator is
+// single-threaded, and the live runtime wraps it in its own locking.
+type Ledger struct {
+	now      func() time.Duration
+	nodes    []nodeLedger
+	links    []linkLedger
+	sessions map[Owner]sessionAlloc
+
+	onNodeChange func(node int)
+	onLinkChange func(link int)
+}
+
+// NewLedger builds a ledger for the mesh with every node given nodeCap
+// capacity and every overlay link its mesh capacity. The now function
+// supplies virtual time for hold expiry.
+func NewLedger(mesh *overlay.Mesh, nodeCap qos.Resources, now func() time.Duration) *Ledger {
+	l := &Ledger{
+		now:      now,
+		nodes:    make([]nodeLedger, mesh.NumNodes()),
+		links:    make([]linkLedger, mesh.NumLinks()),
+		sessions: make(map[Owner]sessionAlloc),
+	}
+	for i := range l.nodes {
+		l.nodes[i].capacity = nodeCap
+	}
+	for i := range l.links {
+		l.links[i].capacity = mesh.Link(i).Capacity
+	}
+	return l
+}
+
+// SetChangeObservers registers callbacks fired after a node's or link's
+// committed allocation changes. The global state subscribes here to apply
+// its threshold-triggered update rule. Transient holds do not fire the
+// observers: they are short-lived local state, never disseminated (§3.2).
+func (l *Ledger) SetChangeObservers(onNode func(int), onLink func(int)) {
+	l.onNodeChange = onNode
+	l.onLinkChange = onLink
+}
+
+// NumNodes returns the number of tracked nodes.
+func (l *Ledger) NumNodes() int { return len(l.nodes) }
+
+// NumLinks returns the number of tracked overlay links.
+func (l *Ledger) NumLinks() int { return len(l.links) }
+
+// NodeCapacity returns the node's total capacity.
+func (l *Ledger) NodeCapacity(node int) qos.Resources { return l.nodes[node].capacity }
+
+// LinkCapacity returns the link's total bandwidth capacity.
+func (l *Ledger) LinkCapacity(link int) float64 { return l.links[link].capacity }
+
+// purgeNode drops expired holds on a node.
+func (l *Ledger) purgeNode(node int) {
+	n := &l.nodes[node]
+	if len(n.holds) == 0 {
+		return
+	}
+	now := l.now()
+	kept := n.holds[:0]
+	for _, h := range n.holds {
+		if h.expires > now {
+			kept = append(kept, h)
+		} else {
+			n.held = n.held.Sub(h.amount)
+		}
+	}
+	n.holds = kept
+}
+
+func (l *Ledger) purgeLink(link int) {
+	lk := &l.links[link]
+	if len(lk.holds) == 0 {
+		return
+	}
+	now := l.now()
+	kept := lk.holds[:0]
+	for _, h := range lk.holds {
+		if h.expires > now {
+			kept = append(kept, h)
+		} else {
+			lk.held -= h.amount
+		}
+	}
+	lk.holds = kept
+}
+
+// NodeAvailable returns the node's currently available resources: the
+// precise local state a probe reads at the node itself — capacity minus
+// committed sessions minus live transient holds.
+func (l *Ledger) NodeAvailable(node int) qos.Resources {
+	l.purgeNode(node)
+	n := &l.nodes[node]
+	return n.capacity.Sub(n.committed).Sub(n.held)
+}
+
+// NodeCommittedAvailable returns capacity minus committed sessions only,
+// ignoring transient holds. This is what the coarse global state
+// disseminates, since holds are never reported beyond the local node.
+func (l *Ledger) NodeCommittedAvailable(node int) qos.Resources {
+	n := &l.nodes[node]
+	return n.capacity.Sub(n.committed)
+}
+
+// LinkAvailable returns the link's precise available bandwidth.
+func (l *Ledger) LinkAvailable(link int) float64 {
+	l.purgeLink(link)
+	lk := &l.links[link]
+	return lk.capacity - lk.committed - lk.held
+}
+
+// LinkCommittedAvailable returns capacity minus committed bandwidth,
+// ignoring transient holds.
+func (l *Ledger) LinkCommittedAvailable(link int) float64 {
+	lk := &l.links[link]
+	return lk.capacity - lk.committed
+}
+
+// RouteAvailable returns the precise available bandwidth of a virtual
+// link: the bottleneck over its constituent overlay links, or +Inf for a
+// co-located route (footnote 4).
+func (l *Ledger) RouteAvailable(r overlay.Route) float64 {
+	if r.CoLocated {
+		return math.Inf(1)
+	}
+	avail := math.Inf(1)
+	for _, id := range r.Links {
+		avail = math.Min(avail, l.LinkAvailable(id))
+	}
+	return avail
+}
+
+// HoldNode places a transient resource allocation for owner's component
+// tag on the node, expiring at the given virtual time unless promoted by
+// CommitSession. It fails (returning false) when the node cannot
+// currently cover the amount. Each node reserves resources once per
+// component per request (footnote 7): a second hold with the same owner
+// and tag — another concurrent probe of the same request visiting the
+// same component — is a no-op success.
+func (l *Ledger) HoldNode(owner Owner, tag, node int, amount qos.Resources, expires time.Duration) bool {
+	l.purgeNode(node)
+	n := &l.nodes[node]
+	for _, h := range n.holds {
+		if h.owner == owner && h.tag == tag {
+			return true
+		}
+	}
+	if !n.capacity.Sub(n.committed).Sub(n.held).Covers(amount) {
+		return false
+	}
+	n.holds = append(n.holds, nodeHold{owner: owner, tag: tag, amount: amount, expires: expires})
+	n.held = n.held.Add(amount)
+	return true
+}
+
+// HoldLink places a transient bandwidth allocation on an overlay link.
+// Like HoldNode it is idempotent per (owner, tag).
+func (l *Ledger) HoldLink(owner Owner, tag, link int, amount float64, expires time.Duration) bool {
+	l.purgeLink(link)
+	lk := &l.links[link]
+	for _, h := range lk.holds {
+		if h.owner == owner && h.tag == tag {
+			return true
+		}
+	}
+	if lk.capacity-lk.committed-lk.held < amount {
+		return false
+	}
+	lk.holds = append(lk.holds, linkHold{owner: owner, tag: tag, amount: amount, expires: expires})
+	lk.held += amount
+	return true
+}
+
+// NodeAvailableFor returns the node's available resources from owner's
+// perspective: precise availability with owner's own transient holds
+// credited back. The deputy evaluates candidate compositions with this
+// view so a request is not blocked by its own reservations.
+func (l *Ledger) NodeAvailableFor(owner Owner, node int) qos.Resources {
+	avail := l.NodeAvailable(node)
+	for _, h := range l.nodes[node].holds {
+		if h.owner == owner {
+			avail = avail.Add(h.amount)
+		}
+	}
+	return avail
+}
+
+// LinkAvailableFor returns the link's available bandwidth with owner's
+// own holds credited back.
+func (l *Ledger) LinkAvailableFor(owner Owner, link int) float64 {
+	avail := l.LinkAvailable(link)
+	for _, h := range l.links[link].holds {
+		if h.owner == owner {
+			avail += h.amount
+		}
+	}
+	return avail
+}
+
+// RouteAvailableFor returns the virtual link's available bandwidth with
+// owner's own holds credited back on every constituent overlay link.
+func (l *Ledger) RouteAvailableFor(owner Owner, r overlay.Route) float64 {
+	if r.CoLocated {
+		return math.Inf(1)
+	}
+	avail := math.Inf(1)
+	for _, id := range r.Links {
+		avail = math.Min(avail, l.LinkAvailableFor(owner, id))
+	}
+	return avail
+}
+
+// ReleaseOwner cancels every transient hold belonging to owner, across
+// all nodes and links. The deputy calls this once a composition decision
+// has been made; unreleased holds die by timeout anyway.
+func (l *Ledger) ReleaseOwner(owner Owner) {
+	for i := range l.nodes {
+		n := &l.nodes[i]
+		kept := n.holds[:0]
+		for _, h := range n.holds {
+			if h.owner == owner {
+				n.held = n.held.Sub(h.amount)
+			} else {
+				kept = append(kept, h)
+			}
+		}
+		n.holds = kept
+	}
+	for i := range l.links {
+		lk := &l.links[i]
+		kept := lk.holds[:0]
+		for _, h := range lk.holds {
+			if h.owner == owner {
+				lk.held -= h.amount
+			} else {
+				kept = append(kept, h)
+			}
+		}
+		lk.holds = kept
+	}
+}
+
+// CommitSession converts a composition decision into a durable session
+// allocation: owner's transient holds are released and the given per-node
+// resources and per-link bandwidths are committed. On failure (some node
+// or link cannot cover its share) nothing is committed, but the owner's
+// transient holds stay released — the request has failed and the paper's
+// protocol would let them time out regardless.
+func (l *Ledger) CommitSession(owner Owner, nodes map[int]qos.Resources, links map[int]float64) error {
+	if _, ok := l.sessions[owner]; ok {
+		return fmt.Errorf("state: session %d already committed", owner)
+	}
+	l.ReleaseOwner(owner)
+	for node, amount := range nodes {
+		if !l.NodeAvailable(node).Covers(amount) {
+			return fmt.Errorf("state: node %d cannot cover %v", node, amount)
+		}
+	}
+	for link, bw := range links {
+		if l.LinkAvailable(link) < bw {
+			return fmt.Errorf("state: link %d cannot cover %.1f kbps", link, bw)
+		}
+	}
+	alloc := sessionAlloc{nodes: make(map[int]qos.Resources, len(nodes)), links: make(map[int]float64, len(links))}
+	for node, amount := range nodes {
+		l.nodes[node].committed = l.nodes[node].committed.Add(amount)
+		alloc.nodes[node] = amount
+		l.notifyNode(node)
+	}
+	for link, bw := range links {
+		l.links[link].committed += bw
+		alloc.links[link] = bw
+		l.notifyLink(link)
+	}
+	l.sessions[owner] = alloc
+	return nil
+}
+
+// ReleaseSession frees a committed session's resources when the
+// application closes (§2.2 Close). Unknown sessions are ignored.
+func (l *Ledger) ReleaseSession(owner Owner) {
+	alloc, ok := l.sessions[owner]
+	if !ok {
+		return
+	}
+	delete(l.sessions, owner)
+	for node, amount := range alloc.nodes {
+		l.nodes[node].committed = l.nodes[node].committed.Sub(amount)
+		l.notifyNode(node)
+	}
+	for link, bw := range alloc.links {
+		l.links[link].committed -= bw
+		l.notifyLink(link)
+	}
+}
+
+// ActiveSessions returns the number of committed sessions.
+func (l *Ledger) ActiveSessions() int { return len(l.sessions) }
+
+func (l *Ledger) notifyNode(node int) {
+	if l.onNodeChange != nil {
+		l.onNodeChange(node)
+	}
+}
+
+func (l *Ledger) notifyLink(link int) {
+	if l.onLinkChange != nil {
+		l.onLinkChange(link)
+	}
+}
+
+// CheckInvariants verifies the ledger's internal consistency: per-node
+// and per-link held totals match their hold lists, committed amounts
+// equal the sum of session allocations, and nothing exceeds capacity.
+// Tests call it after stochastic operation sequences.
+func (l *Ledger) CheckInvariants() error {
+	committedNodes := make([]qos.Resources, len(l.nodes))
+	committedLinks := make([]float64, len(l.links))
+	for owner, alloc := range l.sessions {
+		for node, amount := range alloc.nodes {
+			if node < 0 || node >= len(l.nodes) {
+				return fmt.Errorf("state: session %d references node %d", owner, node)
+			}
+			committedNodes[node] = committedNodes[node].Add(amount)
+		}
+		for link, bw := range alloc.links {
+			if link < 0 || link >= len(l.links) {
+				return fmt.Errorf("state: session %d references link %d", owner, link)
+			}
+			committedLinks[link] += bw
+		}
+	}
+	const eps = 1e-6
+	for i := range l.nodes {
+		l.purgeNode(i)
+		n := &l.nodes[i]
+		var heldSum qos.Resources
+		for _, h := range n.holds {
+			heldSum = heldSum.Add(h.amount)
+		}
+		if d := heldSum.Sub(n.held); d.CPU > eps || d.CPU < -eps || d.Memory > eps || d.Memory < -eps {
+			return fmt.Errorf("state: node %d held total %v != hold list sum %v", i, n.held, heldSum)
+		}
+		if d := committedNodes[i].Sub(n.committed); d.CPU > eps || d.CPU < -eps || d.Memory > eps || d.Memory < -eps {
+			return fmt.Errorf("state: node %d committed %v != session sum %v", i, n.committed, committedNodes[i])
+		}
+		if avail := n.capacity.Sub(n.committed).Sub(n.held); avail.CPU < -eps || avail.Memory < -eps {
+			return fmt.Errorf("state: node %d over-allocated: available %v", i, avail)
+		}
+	}
+	for i := range l.links {
+		l.purgeLink(i)
+		lk := &l.links[i]
+		heldSum := 0.0
+		for _, h := range lk.holds {
+			heldSum += h.amount
+		}
+		if d := heldSum - lk.held; d > eps || d < -eps {
+			return fmt.Errorf("state: link %d held total %v != hold list sum %v", i, lk.held, heldSum)
+		}
+		if d := committedLinks[i] - lk.committed; d > eps || d < -eps {
+			return fmt.Errorf("state: link %d committed %v != session sum %v", i, lk.committed, committedLinks[i])
+		}
+		if avail := lk.capacity - lk.committed - lk.held; avail < -eps {
+			return fmt.Errorf("state: link %d over-allocated: available %v", i, avail)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,366 @@
+// Package topology generates and routes over the IP-layer network
+// underlying the stream processing overlay.
+//
+// The paper's simulator uses the degree-based Internet topology generator
+// Inet-3.0 to create a 3200-node power-law graph (§4.1). Inet itself is a
+// closed C artefact, so this package substitutes a degree-based
+// preferential-attachment generator that reproduces the property the
+// experiments rely on: a heavy-tailed (power-law) degree distribution with
+// heterogeneous path delays and bandwidths. Routing, as in the paper, is
+// delay-based shortest path.
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Edge is a directed view of an undirected IP link.
+type Edge struct {
+	// To is the neighbouring node.
+	To int
+	// Delay is the link's propagation delay in milliseconds.
+	Delay float64
+	// Bandwidth is the link capacity in kbps.
+	Bandwidth float64
+}
+
+// Graph is an undirected IP-layer network. Nodes are dense integers
+// [0, N). The adjacency representation stores each undirected link as two
+// mirrored directed edges with identical delay and bandwidth.
+type Graph struct {
+	adj [][]Edge
+}
+
+// NumNodes returns the number of nodes in the graph.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumLinks returns the number of undirected links.
+func (g *Graph) NumLinks() int {
+	total := 0
+	for _, edges := range g.adj {
+		total += len(edges)
+	}
+	return total / 2
+}
+
+// Neighbors returns the edges leaving node v. The returned slice is the
+// graph's internal storage; callers must not modify it.
+func (g *Graph) Neighbors(v int) []Edge { return g.adj[v] }
+
+// Degree returns the number of links incident to v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// addLink inserts an undirected link between a and b.
+func (g *Graph) addLink(a, b int, delay, bandwidth float64) {
+	g.adj[a] = append(g.adj[a], Edge{To: b, Delay: delay, Bandwidth: bandwidth})
+	g.adj[b] = append(g.adj[b], Edge{To: a, Delay: delay, Bandwidth: bandwidth})
+}
+
+// hasLink reports whether a and b are directly connected.
+func (g *Graph) hasLink(a, b int) bool {
+	for _, e := range g.adj[a] {
+		if e.To == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Config controls power-law graph generation.
+type Config struct {
+	// Nodes is the total node count. The paper uses 3200.
+	Nodes int
+	// EdgesPerNode is the number of links each arriving node creates
+	// toward existing nodes (preferential attachment parameter m).
+	EdgesPerNode int
+	// MinDelay and MaxDelay bound the per-link propagation delay (ms).
+	MinDelay, MaxDelay float64
+	// MinBandwidth and MaxBandwidth bound per-link capacity (kbps).
+	MinBandwidth, MaxBandwidth float64
+}
+
+// DefaultConfig mirrors the paper's simulation setup: a 3200-node
+// power-law graph with millisecond-scale link delays and access-network
+// scale bandwidths.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:        3200,
+		EdgesPerNode: 2,
+		MinDelay:     1,
+		MaxDelay:     10,
+		MinBandwidth: 10_000,  // 10 Mbps
+		MaxBandwidth: 100_000, // 100 Mbps
+	}
+}
+
+// Generate builds a connected power-law graph by degree-based preferential
+// attachment: each new node links to EdgesPerNode distinct existing nodes
+// chosen with probability proportional to their current degree. All
+// randomness is drawn from rng, so generation is deterministic per seed.
+func Generate(cfg Config, rng *rand.Rand) (*Graph, error) {
+	m := cfg.EdgesPerNode
+	if m < 1 {
+		return nil, fmt.Errorf("topology: EdgesPerNode %d < 1", m)
+	}
+	if cfg.Nodes < m+1 {
+		return nil, fmt.Errorf("topology: Nodes %d must exceed EdgesPerNode %d", cfg.Nodes, m)
+	}
+	if cfg.MinDelay <= 0 || cfg.MaxDelay < cfg.MinDelay {
+		return nil, fmt.Errorf("topology: invalid delay range [%v, %v]", cfg.MinDelay, cfg.MaxDelay)
+	}
+	if cfg.MinBandwidth <= 0 || cfg.MaxBandwidth < cfg.MinBandwidth {
+		return nil, fmt.Errorf("topology: invalid bandwidth range [%v, %v]", cfg.MinBandwidth, cfg.MaxBandwidth)
+	}
+
+	g := &Graph{adj: make([][]Edge, cfg.Nodes)}
+	link := func(a, b int) {
+		delay := cfg.MinDelay + rng.Float64()*(cfg.MaxDelay-cfg.MinDelay)
+		bw := cfg.MinBandwidth + rng.Float64()*(cfg.MaxBandwidth-cfg.MinBandwidth)
+		g.addLink(a, b, delay, bw)
+	}
+
+	// Seed clique of m+1 nodes so every attachment target has degree >= m.
+	for a := 0; a <= m; a++ {
+		for b := a + 1; b <= m; b++ {
+			link(a, b)
+		}
+	}
+
+	// targets holds one entry per edge endpoint, so sampling uniformly
+	// from it is degree-proportional sampling.
+	targets := make([]int, 0, 2*m*cfg.Nodes)
+	for v := 0; v <= m; v++ {
+		for range g.adj[v] {
+			targets = append(targets, v)
+		}
+	}
+
+	for v := m + 1; v < cfg.Nodes; v++ {
+		chosen := make([]int, 0, m)
+		for len(chosen) < m {
+			t := targets[rng.Intn(len(targets))]
+			if t != v && !contains(chosen, t) {
+				chosen = append(chosen, t)
+			}
+		}
+		// Keep the order rng produced them in so generation stays
+		// deterministic per seed.
+		for _, t := range chosen {
+			link(v, t)
+			targets = append(targets, v, t)
+		}
+	}
+	return g, nil
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// pathItem is a Dijkstra priority-queue entry.
+type pathItem struct {
+	node int
+	dist float64
+}
+
+type pathHeap []pathItem
+
+func (h pathHeap) Len() int            { return len(h) }
+func (h pathHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h pathHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x interface{}) { *h = append(*h, x.(pathItem)) }
+func (h *pathHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// PathTree is the result of a single-source shortest-path computation.
+type PathTree struct {
+	src    int
+	dist   []float64
+	parent []int
+}
+
+// ShortestPaths runs Dijkstra from src using link delay as the metric,
+// matching the paper's "delay-based shortest path routing algorithm".
+func (g *Graph) ShortestPaths(src int) *PathTree {
+	n := g.NumNodes()
+	t := &PathTree{
+		src:    src,
+		dist:   make([]float64, n),
+		parent: make([]int, n),
+	}
+	for i := range t.dist {
+		t.dist[i] = math.Inf(1)
+		t.parent[i] = -1
+	}
+	t.dist[src] = 0
+
+	h := &pathHeap{{node: src}}
+	for h.Len() > 0 {
+		item := heap.Pop(h).(pathItem)
+		if item.dist > t.dist[item.node] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[item.node] {
+			if d := item.dist + e.Delay; d < t.dist[e.To] {
+				t.dist[e.To] = d
+				t.parent[e.To] = item.node
+				heap.Push(h, pathItem{node: e.To, dist: d})
+			}
+		}
+	}
+	return t
+}
+
+// Distance returns the shortest-path delay from the tree's source to dst,
+// or +Inf if dst is unreachable.
+func (t *PathTree) Distance(dst int) float64 { return t.dist[dst] }
+
+// PathTo returns the node sequence from the source to dst inclusive, or
+// nil if dst is unreachable.
+func (t *PathTree) PathTo(dst int) []int {
+	if math.IsInf(t.dist[dst], 1) {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = t.parent[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathMetrics walks the IP path from the tree's source to dst and returns
+// its total delay and bottleneck bandwidth. A zero-length path (src==dst)
+// has zero delay and infinite bandwidth. Unreachable destinations return
+// (+Inf, 0).
+func (g *Graph) PathMetrics(t *PathTree, dst int) (delay, bottleneck float64) {
+	path := t.PathTo(dst)
+	if path == nil {
+		return math.Inf(1), 0
+	}
+	bottleneck = math.Inf(1)
+	for i := 1; i < len(path); i++ {
+		e, ok := g.edgeBetween(path[i-1], path[i])
+		if !ok {
+			return math.Inf(1), 0
+		}
+		delay += e.Delay
+		bottleneck = math.Min(bottleneck, e.Bandwidth)
+	}
+	return delay, bottleneck
+}
+
+func (g *Graph) edgeBetween(a, b int) (Edge, bool) {
+	for _, e := range g.adj[a] {
+		if e.To == b {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// Connected reports whether the graph is a single connected component.
+func (g *Graph) Connected() bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	seen := make([]bool, g.NumNodes())
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[v] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == g.NumNodes()
+}
+
+// DegreeStats summarises the degree distribution.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	// PowerLawSlope is the least-squares slope of log(count) over
+	// log(degree) for the complementary degree histogram; heavy-tailed
+	// graphs produce a clearly negative slope.
+	PowerLawSlope float64
+}
+
+// Stats computes degree-distribution statistics, used by tests and the
+// acptopo inspection tool to confirm the generator produces a power law.
+func (g *Graph) Stats() DegreeStats {
+	n := g.NumNodes()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	st := DegreeStats{Min: math.MaxInt}
+	hist := make(map[int]int)
+	sum := 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		sum += d
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+		hist[d]++
+	}
+	st.Mean = float64(sum) / float64(n)
+	st.PowerLawSlope = logLogSlope(hist)
+	return st
+}
+
+func logLogSlope(hist map[int]int) float64 {
+	type pt struct{ x, y float64 }
+	var pts []pt
+	degrees := make([]int, 0, len(hist))
+	for d := range hist {
+		if d > 0 {
+			degrees = append(degrees, d)
+		}
+	}
+	sort.Ints(degrees)
+	for _, d := range degrees {
+		pts = append(pts, pt{x: math.Log(float64(d)), y: math.Log(float64(hist[d]))})
+	}
+	if len(pts) < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		sx += p.x
+		sy += p.y
+		sxx += p.x * p.x
+		sxy += p.x * p.y
+	}
+	n := float64(len(pts))
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / denom
+}

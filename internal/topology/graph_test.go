@@ -1,0 +1,270 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testGraph(t *testing.T, nodes int, seed int64) *Graph {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Nodes = nodes
+	g, err := Generate(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return g
+}
+
+func TestGenerateValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "zero edges per node", mutate: func(c *Config) { c.EdgesPerNode = 0 }},
+		{name: "too few nodes", mutate: func(c *Config) { c.Nodes = 2; c.EdgesPerNode = 2 }},
+		{name: "bad delay range", mutate: func(c *Config) { c.MinDelay = 5; c.MaxDelay = 1 }},
+		{name: "zero min delay", mutate: func(c *Config) { c.MinDelay = 0 }},
+		{name: "bad bandwidth range", mutate: func(c *Config) { c.MinBandwidth = 100; c.MaxBandwidth = 10 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if _, err := Generate(cfg, rand.New(rand.NewSource(1))); err == nil {
+				t.Error("Generate accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestGenerateConnected(t *testing.T) {
+	g := testGraph(t, 500, 1)
+	if !g.Connected() {
+		t.Error("generated graph is not connected")
+	}
+}
+
+func TestGenerateNodeAndLinkCounts(t *testing.T) {
+	const n = 400
+	g := testGraph(t, n, 2)
+	if g.NumNodes() != n {
+		t.Fatalf("NumNodes = %d, want %d", g.NumNodes(), n)
+	}
+	// m=2: seed triangle (3 links) + 2 links per remaining node.
+	wantLinks := 3 + 2*(n-3)
+	if g.NumLinks() != wantLinks {
+		t.Errorf("NumLinks = %d, want %d", g.NumLinks(), wantLinks)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1 := testGraph(t, 200, 7)
+	g2 := testGraph(t, 200, 7)
+	for v := 0; v < g1.NumNodes(); v++ {
+		e1, e2 := g1.Neighbors(v), g2.Neighbors(v)
+		if len(e1) != len(e2) {
+			t.Fatalf("node %d degree differs: %d vs %d", v, len(e1), len(e2))
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Fatalf("node %d edge %d differs: %+v vs %+v", v, i, e1[i], e2[i])
+			}
+		}
+	}
+}
+
+func TestGeneratePowerLawTail(t *testing.T) {
+	g := testGraph(t, 3200, 3)
+	st := g.Stats()
+	if st.Min < 2 {
+		t.Errorf("min degree = %d, want >= 2", st.Min)
+	}
+	// Preferential attachment concentrates degree: the hubs should be an
+	// order of magnitude above the mean.
+	if float64(st.Max) < 8*st.Mean {
+		t.Errorf("max degree %d not heavy-tailed relative to mean %.1f", st.Max, st.Mean)
+	}
+	if st.PowerLawSlope > -1 {
+		t.Errorf("log-log degree slope = %.2f, want clearly negative (power law)", st.PowerLawSlope)
+	}
+}
+
+func TestGenerateEdgeAttributesInRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 300
+	g, err := Generate(cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, e := range g.Neighbors(v) {
+			if e.Delay < cfg.MinDelay || e.Delay > cfg.MaxDelay {
+				t.Fatalf("edge delay %v out of range", e.Delay)
+			}
+			if e.Bandwidth < cfg.MinBandwidth || e.Bandwidth > cfg.MaxBandwidth {
+				t.Fatalf("edge bandwidth %v out of range", e.Bandwidth)
+			}
+		}
+	}
+}
+
+func TestGenerateSymmetricLinks(t *testing.T) {
+	g := testGraph(t, 300, 5)
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, e := range g.Neighbors(v) {
+			back, ok := g.edgeBetween(e.To, v)
+			if !ok {
+				t.Fatalf("link %d->%d has no mirror", v, e.To)
+			}
+			if back.Delay != e.Delay || back.Bandwidth != e.Bandwidth {
+				t.Fatalf("asymmetric attributes on link %d-%d", v, e.To)
+			}
+		}
+	}
+}
+
+func TestShortestPathsSmallWorked(t *testing.T) {
+	// Hand-built diamond: 0-1 (delay 1), 0-2 (delay 4), 1-2 (delay 1),
+	// 2-3 (delay 1), 1-3 (delay 5).
+	g := &Graph{adj: make([][]Edge, 4)}
+	g.addLink(0, 1, 1, 100)
+	g.addLink(0, 2, 4, 100)
+	g.addLink(1, 2, 1, 50)
+	g.addLink(2, 3, 1, 200)
+	g.addLink(1, 3, 5, 100)
+
+	tree := g.ShortestPaths(0)
+	tests := []struct {
+		dst      int
+		wantDist float64
+		wantPath []int
+	}{
+		{dst: 0, wantDist: 0, wantPath: []int{0}},
+		{dst: 1, wantDist: 1, wantPath: []int{0, 1}},
+		{dst: 2, wantDist: 2, wantPath: []int{0, 1, 2}},
+		{dst: 3, wantDist: 3, wantPath: []int{0, 1, 2, 3}},
+	}
+	for _, tt := range tests {
+		if got := tree.Distance(tt.dst); got != tt.wantDist {
+			t.Errorf("Distance(%d) = %v, want %v", tt.dst, got, tt.wantDist)
+		}
+		path := tree.PathTo(tt.dst)
+		if len(path) != len(tt.wantPath) {
+			t.Fatalf("PathTo(%d) = %v, want %v", tt.dst, path, tt.wantPath)
+		}
+		for i := range path {
+			if path[i] != tt.wantPath[i] {
+				t.Fatalf("PathTo(%d) = %v, want %v", tt.dst, path, tt.wantPath)
+			}
+		}
+	}
+}
+
+func TestPathMetrics(t *testing.T) {
+	g := &Graph{adj: make([][]Edge, 4)}
+	g.addLink(0, 1, 1, 100)
+	g.addLink(1, 2, 2, 50)
+	g.addLink(2, 3, 3, 200)
+
+	tree := g.ShortestPaths(0)
+	delay, bw := g.PathMetrics(tree, 3)
+	if delay != 6 {
+		t.Errorf("delay = %v, want 6", delay)
+	}
+	if bw != 50 {
+		t.Errorf("bottleneck = %v, want 50", bw)
+	}
+
+	// Zero-length path: same node.
+	delay, bw = g.PathMetrics(tree, 0)
+	if delay != 0 || !math.IsInf(bw, 1) {
+		t.Errorf("self path = (%v, %v), want (0, +Inf)", delay, bw)
+	}
+}
+
+func TestPathMetricsUnreachable(t *testing.T) {
+	g := &Graph{adj: make([][]Edge, 3)}
+	g.addLink(0, 1, 1, 100)
+	// Node 2 is isolated.
+	tree := g.ShortestPaths(0)
+	if d := tree.Distance(2); !math.IsInf(d, 1) {
+		t.Errorf("Distance to isolated node = %v, want +Inf", d)
+	}
+	if p := tree.PathTo(2); p != nil {
+		t.Errorf("PathTo isolated node = %v, want nil", p)
+	}
+	delay, bw := g.PathMetrics(tree, 2)
+	if !math.IsInf(delay, 1) || bw != 0 {
+		t.Errorf("PathMetrics to isolated node = (%v, %v)", delay, bw)
+	}
+}
+
+// TestShortestPathsOptimality cross-checks Dijkstra against Bellman-Ford
+// relaxation on random small graphs.
+func TestShortestPathsOptimality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Nodes: 30, EdgesPerNode: 2,
+			MinDelay: 1, MaxDelay: 20,
+			MinBandwidth: 1, MaxBandwidth: 10,
+		}
+		g, err := Generate(cfg, rng)
+		if err != nil {
+			return false
+		}
+		src := rng.Intn(cfg.Nodes)
+		tree := g.ShortestPaths(src)
+
+		// Bellman-Ford reference.
+		dist := make([]float64, cfg.Nodes)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		dist[src] = 0
+		for iter := 0; iter < cfg.Nodes; iter++ {
+			for v := 0; v < cfg.Nodes; v++ {
+				for _, e := range g.Neighbors(v) {
+					if d := dist[v] + e.Delay; d < dist[e.To] {
+						dist[e.To] = d
+					}
+				}
+			}
+		}
+		for v := 0; v < cfg.Nodes; v++ {
+			if math.Abs(tree.Distance(v)-dist[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPathDelayMatchesDistance: the delay along the reconstructed path
+// must equal the Dijkstra distance.
+func TestPathDelayMatchesDistance(t *testing.T) {
+	g := testGraph(t, 200, 11)
+	tree := g.ShortestPaths(0)
+	for dst := 0; dst < g.NumNodes(); dst += 17 {
+		delay, _ := g.PathMetrics(tree, dst)
+		if math.Abs(delay-tree.Distance(dst)) > 1e-9 {
+			t.Errorf("path delay to %d = %v, distance = %v", dst, delay, tree.Distance(dst))
+		}
+	}
+}
+
+func TestStatsEmptyGraph(t *testing.T) {
+	var g Graph
+	if st := g.Stats(); st != (DegreeStats{}) {
+		t.Errorf("Stats of empty graph = %+v", st)
+	}
+	if !g.Connected() {
+		t.Error("empty graph should count as connected")
+	}
+}

@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the trace parser: arbitrary input must either parse
+// into records that reconstruct valid requests, or fail cleanly —
+// never panic.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"id":1,"arrivalMillis":0,"functions":[1,2],"edges":[[0,1]],"delayReqMillis":100,"lossReq":0.05,"cpuReq":[1,2],"memoryReq":[3,4],"bandwidthKbps":100,"client":0,"durationMillis":60000}`)
+	f.Add(`{"id":-5,"functions":[],"cpuReq":null}`)
+	f.Add("")
+	f.Add("{}")
+	f.Add("{\"arrivalMillis\":9999999999999}")
+	f.Fuzz(func(t *testing.T, input string) {
+		records, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, rec := range records {
+			req, err := rec.Request()
+			if err != nil {
+				continue
+			}
+			// Anything that reconstructs must be a valid request.
+			if err := req.Validate(); err != nil {
+				t.Fatalf("reconstructed invalid request: %v", err)
+			}
+		}
+	})
+}

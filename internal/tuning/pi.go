@@ -1,0 +1,110 @@
+package tuning
+
+import (
+	"fmt"
+	"math"
+)
+
+// RatioTuner adapts the probing ratio from measured success rates. Both
+// the paper's profiling tuner (Tuner) and the control-theoretic
+// controller (PIController, the paper's first future-work direction in
+// §6) implement it.
+type RatioTuner interface {
+	// Ratio returns the probing ratio currently in force.
+	Ratio() float64
+	// Observe feeds the last sampling window's measured success rate and
+	// reports whether the ratio changed.
+	Observe(measured float64) bool
+}
+
+// Compile-time interface checks.
+var (
+	_ RatioTuner = (*Tuner)(nil)
+	_ RatioTuner = (*PIController)(nil)
+)
+
+// PIConfig parameterises the proportional-integral probing-ratio
+// controller.
+type PIConfig struct {
+	// Target is the success rate to hold.
+	Target float64
+	// Kp and Ki are the proportional and integral gains mapping success
+	// error (target - measured) to probing-ratio adjustment.
+	Kp, Ki float64
+	// Base is the starting ratio; Min and Max clamp the output.
+	Base, Min, Max float64
+}
+
+// DefaultPIConfig returns gains that settle within a few sampling
+// windows for the paper's workloads without limit-cycling: a 10-point
+// success deficit raises alpha by 0.04 proportionally plus 0.025 per
+// window integrally.
+func DefaultPIConfig() PIConfig {
+	return PIConfig{
+		Target: 0.90,
+		Kp:     0.4,
+		Ki:     0.25,
+		Base:   0.1,
+		Min:    0.05,
+		Max:    1.0,
+	}
+}
+
+func (c *PIConfig) validate() error {
+	if c.Target <= 0 || c.Target > 1 {
+		return fmt.Errorf("tuning: Target %v out of (0, 1]", c.Target)
+	}
+	if c.Kp < 0 || c.Ki < 0 || (c.Kp == 0 && c.Ki == 0) {
+		return fmt.Errorf("tuning: gains Kp=%v Ki=%v must be non-negative and not both zero", c.Kp, c.Ki)
+	}
+	if c.Min <= 0 || c.Max < c.Min || c.Max > 1 {
+		return fmt.Errorf("tuning: ratio bounds [%v, %v] invalid", c.Min, c.Max)
+	}
+	if c.Base < c.Min || c.Base > c.Max {
+		return fmt.Errorf("tuning: Base %v outside [%v, %v]", c.Base, c.Min, c.Max)
+	}
+	return nil
+}
+
+// PIController holds a target success rate with a clamped
+// proportional-integral law and conditional anti-windup: the integral
+// term freezes while the output is saturated in the error's direction,
+// so a long overload does not wind the ratio past usefulness.
+type PIController struct {
+	cfg      PIConfig
+	ratio    float64
+	integral float64
+}
+
+// NewPIController validates the configuration and starts at the base
+// ratio.
+func NewPIController(cfg PIConfig) (*PIController, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &PIController{cfg: cfg, ratio: cfg.Base}, nil
+}
+
+// Ratio returns the probing ratio currently in force.
+func (c *PIController) Ratio() float64 { return c.ratio }
+
+// Observe applies one control step for the measured success rate.
+func (c *PIController) Observe(measured float64) bool {
+	errSignal := c.cfg.Target - measured
+
+	tentative := c.integral + errSignal
+	raw := c.cfg.Base + c.cfg.Kp*errSignal + c.cfg.Ki*tentative
+	next := math.Max(c.cfg.Min, math.Min(c.cfg.Max, raw))
+	// Anti-windup: keep the integral step only when the output is not
+	// saturated in the error's direction, so a long overload cannot wind
+	// the ratio past usefulness.
+	pushingHigh := raw > c.cfg.Max && errSignal > 0
+	pushingLow := raw < c.cfg.Min && errSignal < 0
+	if !pushingHigh && !pushingLow {
+		c.integral = tentative
+	}
+
+	changed := math.Abs(next-c.ratio) > 1e-12
+	c.ratio = next
+	return changed
+}

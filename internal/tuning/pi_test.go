@@ -1,0 +1,137 @@
+package tuning
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewPIControllerValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*PIConfig)
+	}{
+		{name: "zero target", mutate: func(c *PIConfig) { c.Target = 0 }},
+		{name: "negative gain", mutate: func(c *PIConfig) { c.Kp = -1 }},
+		{name: "both gains zero", mutate: func(c *PIConfig) { c.Kp = 0; c.Ki = 0 }},
+		{name: "zero min", mutate: func(c *PIConfig) { c.Min = 0 }},
+		{name: "max below min", mutate: func(c *PIConfig) { c.Max = 0.01 }},
+		{name: "base out of bounds", mutate: func(c *PIConfig) { c.Base = 0.01 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultPIConfig()
+			tt.mutate(&cfg)
+			if _, err := NewPIController(cfg); err == nil {
+				t.Error("NewPIController accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestPIRaisesRatioOnDeficit(t *testing.T) {
+	c, err := NewPIController(DefaultPIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := c.Ratio()
+	if changed := c.Observe(0.5); !changed {
+		t.Fatal("controller ignored a 40-point deficit")
+	}
+	if c.Ratio() <= start {
+		t.Errorf("ratio %v did not rise from %v", c.Ratio(), start)
+	}
+}
+
+func TestPILowersRatioOnSurplus(t *testing.T) {
+	c, err := NewPIController(DefaultPIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the ratio up first, then feed perfect success.
+	c.Observe(0.4)
+	c.Observe(0.4)
+	high := c.Ratio()
+	for i := 0; i < 10; i++ {
+		c.Observe(1.0)
+	}
+	if c.Ratio() >= high {
+		t.Errorf("ratio did not relax: %v -> %v", high, c.Ratio())
+	}
+}
+
+func TestPIRespectsBounds(t *testing.T) {
+	cfg := DefaultPIConfig()
+	c, err := NewPIController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		c.Observe(0) // catastrophic failure forever
+	}
+	if c.Ratio() > cfg.Max {
+		t.Errorf("ratio %v above max %v", c.Ratio(), cfg.Max)
+	}
+	for i := 0; i < 50; i++ {
+		c.Observe(1)
+	}
+	if c.Ratio() < cfg.Min {
+		t.Errorf("ratio %v below min %v", c.Ratio(), cfg.Min)
+	}
+}
+
+// TestPIAntiWindup: after a long saturated overload, recovery must be
+// quick — the integral term must not have wound up unboundedly.
+func TestPIAntiWindup(t *testing.T) {
+	c, err := NewPIController(DefaultPIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Observe(0.2) // saturates at Max
+	}
+	if c.Ratio() != DefaultPIConfig().Max {
+		t.Fatalf("not saturated: %v", c.Ratio())
+	}
+	// Load vanishes: within a handful of windows the ratio must drop
+	// visibly below the cap.
+	for i := 0; i < 5; i++ {
+		c.Observe(1.0)
+	}
+	if c.Ratio() > 0.9*DefaultPIConfig().Max {
+		t.Errorf("ratio stuck near cap after recovery: %v", c.Ratio())
+	}
+}
+
+// TestPISteadyStateConvergence: with a plant where success is a known
+// increasing function of alpha, the closed loop should settle near the
+// alpha that yields the target.
+func TestPISteadyStateConvergence(t *testing.T) {
+	plant := func(alpha float64) float64 {
+		return math.Min(1, 0.4+alpha) // target 0.9 at alpha = 0.5
+	}
+	c, err := NewPIController(DefaultPIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		c.Observe(plant(c.Ratio()))
+	}
+	if math.Abs(c.Ratio()-0.5) > 0.1 {
+		t.Errorf("ratio settled at %v, want ~0.5", c.Ratio())
+	}
+	if math.Abs(plant(c.Ratio())-0.9) > 0.08 {
+		t.Errorf("steady-state success %v, want ~0.9", plant(c.Ratio()))
+	}
+}
+
+func TestPIStableAtTarget(t *testing.T) {
+	c, err := NewPIController(DefaultPIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Observe(0.9)
+	r := c.Ratio()
+	if changed := c.Observe(0.9); changed {
+		t.Errorf("ratio moved at zero error: %v -> %v", r, c.Ratio())
+	}
+}
