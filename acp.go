@@ -1,9 +1,12 @@
 package acp
 
 import (
+	"io"
+
 	"repro/internal/component"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/runtime"
 )
@@ -39,6 +42,15 @@ type (
 	FigureOptions = experiment.Options
 	// ResultTable is a printable experiment result.
 	ResultTable = experiment.Table
+
+	// Tracer records probe-lifecycle span events; wire one into a
+	// ClusterConfig to observe composition decisions.
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded span event.
+	TraceEvent = obs.Event
+	// MetricsRegistry is a concurrency-safe instrument registry
+	// (counters, gauges, histograms).
+	MetricsRegistry = obs.Registry
 )
 
 // Composition algorithms (§4.1 of the paper).
@@ -81,6 +93,27 @@ func NewPathGraph(functions []FunctionID) *Graph {
 func NewBranchGraph(source FunctionID, branch1, branch2 []FunctionID, sink FunctionID) (*Graph, error) {
 	return component.NewBranchGraph(source, branch1, branch2, sink)
 }
+
+// NewJSONLTracer returns a tracer streaming span events to w as JSON
+// lines, plus the flush to call when done.
+func NewJSONLTracer(w io.Writer) (*Tracer, func() error) {
+	sink := obs.NewJSONLSink(w)
+	return obs.New(sink), sink.Flush
+}
+
+// NewMemoryTracer returns a tracer collecting span events in memory and
+// the accessor for what it collected.
+func NewMemoryTracer() (*Tracer, func() []TraceEvent) {
+	sink := &obs.MemorySink{}
+	return obs.New(sink), sink.Events
+}
+
+// NewMetricsRegistry returns an empty instrument registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ReadTraceEvents parses a JSONL span-event stream (as written by
+// NewJSONLTracer or acpsim -trace-out).
+func ReadTraceEvents(r io.Reader) ([]TraceEvent, error) { return obs.ReadEvents(r) }
 
 // LossProb converts an additive loss cost back to a probability.
 func LossProb(cost float64) float64 { return qos.LossProb(cost) }

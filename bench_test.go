@@ -10,6 +10,7 @@
 package acp_test
 
 import (
+	"io"
 	"testing"
 	"time"
 
@@ -223,6 +224,70 @@ func benchCompose(b *testing.B, alg core.Algorithm) {
 		if err := cluster.Close(id); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkProbeWalkTracing guards the observability overhead: the same
+// ACP compose/release loop with tracing disabled (nil tracer — the
+// default) and with spans streaming to a discarded JSONL sink. The
+// disabled variant is the regression guard; it must not drift from the
+// pre-tracing baseline.
+func BenchmarkProbeWalkTracing(b *testing.B) {
+	bench := func(b *testing.B, tracer *acp.Tracer) {
+		cfg := acp.DefaultClusterConfig()
+		cfg.IPNodes = 800
+		cfg.OverlayNodes = 400
+		cfg.NumFunctions = 80
+		cfg.ComponentsPerNode = 1
+		cfg.ProbingRatio = 0.3
+		cfg.Tracer = tracer
+		cluster, err := acp.NewCluster(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cluster.Shutdown()
+		graph := acp.NewPathGraph([]acp.FunctionID{0, 1, 2, 3})
+		qosReq := acp.QoS{Delay: 100000, LossCost: acp.LossCost(0.9)}
+		resReq := []acp.Resources{{CPU: 1, Memory: 10}, {CPU: 1, Memory: 10}, {CPU: 1, Memory: 10}, {CPU: 1, Memory: 10}}
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id, err := cluster.Find(graph, qosReq, resReq, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := cluster.Close(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { bench(b, nil) })
+	b.Run("enabled", func(b *testing.B) {
+		tracer, flush := acp.NewJSONLTracer(io.Discard)
+		defer flush()
+		bench(b, tracer)
+	})
+}
+
+// TestDisabledTracerZeroAllocPerHop pins the contract the nil-tracer
+// fast path relies on: every per-hop emission on a disabled tracer is a
+// pointer check with zero allocations.
+func TestDisabledTracerZeroAllocPerHop(t *testing.T) {
+	var tr *acp.Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.RequestReceived(1, 0)
+		pid := tr.NextProbeID()
+		tr.ProbeSpawned(1, pid, 0, 2, 1.0)
+		tr.CandidatePruned(1, pid, 0, 2, "qos")
+		tr.HoldAcquired(1, pid, 0, 2)
+		tr.ProbeForwarded(1, pid, 0, 2, 3)
+		tr.ProbeReturned(1, pid, 2, 1.0)
+		tr.HoldReleased(1, 2)
+		tr.Decided(1, 0, "")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates %.1f bytes-objects per hop, want 0", allocs)
 	}
 }
 

@@ -7,6 +7,7 @@
 //	acpsim -alg Optimal -nodes 600 -rate 80
 //	acpsim -alg ACP -rate 60 -tune -target 0.9
 //	acpsim -record run.trace && acpsim -replay run.trace
+//	acpsim -trace-out probes.jsonl -metrics-out counters.txt
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/trace"
 	"repro/internal/tuning"
@@ -65,6 +67,8 @@ func run(args []string) error {
 		repair   = fs.Float64("repair", 10, "minutes a failed node stays down")
 		recomp   = fs.Bool("recompose", false, "re-compose sessions disrupted by failures")
 		migrate  = fs.Bool("migrate", false, "enable dynamic component placement")
+		traceOut = fs.String("trace-out", "", "write probe-lifecycle span events (JSONL) to this file")
+		metrOut  = fs.String("metrics-out", "", "write an instrument snapshot (text) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,11 +129,37 @@ func run(args []string) error {
 	if *record != "" {
 		f, err := os.Create(*record)
 		if err != nil {
-			return err
+			return fmt.Errorf("-record: %w", err)
 		}
 		recordFile = f
 		defer f.Close()
 		rc.TraceWriter = trace.NewWriter(f)
+	}
+	// Output files open before the run so an unwritable path fails fast
+	// instead of discarding minutes of simulation.
+	var traceFile *os.File
+	var traceSink *obs.JSONLSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		traceFile = f
+		defer f.Close()
+		traceSink = obs.NewJSONLSink(f)
+		rc.Tracer = obs.New(traceSink)
+	}
+	var registry *obs.Registry
+	var metricsFile *os.File
+	if *metrOut != "" {
+		f, err := os.Create(*metrOut)
+		if err != nil {
+			return fmt.Errorf("-metrics-out: %w", err)
+		}
+		metricsFile = f
+		defer f.Close()
+		registry = obs.NewRegistry()
+		rc.Registry = registry
 	}
 	if *replay != "" {
 		f, err := os.Open(*replay)
@@ -158,6 +188,9 @@ func run(args []string) error {
 	fmt.Printf("requests         %d\n", res.Requests)
 	fmt.Printf("success rate     %.2f%%\n", 100*res.SuccessRate)
 	fmt.Printf("overhead         %.0f messages/min (%s)\n", res.OverheadPerMinute, res.Messages)
+	pb := res.PhaseBreakdown
+	fmt.Printf("phase breakdown  probing %d, state updates %d, commit %d, discovery %d\n",
+		pb.Probing, pb.StateUpdates, pb.Commit, pb.Discovery)
 	fmt.Printf("mean probe RTT   %v\n", res.MeanProbeLatency.Round(time.Millisecond))
 	fmt.Printf("mean phi         %.3f\n", res.MeanPhi)
 	if *tune {
@@ -173,6 +206,21 @@ func run(args []string) error {
 	fmt.Printf("wall clock       %v\n", time.Since(start).Round(time.Millisecond))
 	if recordFile != nil {
 		fmt.Printf("trace            recorded %d requests to %s\n", res.Requests, recordFile.Name())
+	}
+	if traceSink != nil {
+		if err := traceSink.Flush(); err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		if err := traceFile.Sync(); err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		fmt.Printf("probe trace      %d span events to %s\n", traceSink.Count(), traceFile.Name())
+	}
+	if registry != nil {
+		if err := registry.WriteText(metricsFile); err != nil {
+			return fmt.Errorf("-metrics-out: %w", err)
+		}
+		fmt.Printf("instruments      snapshot to %s\n", metricsFile.Name())
 	}
 
 	if *series {

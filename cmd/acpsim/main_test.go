@@ -1,11 +1,15 @@
 package main
 
 import (
+	"bufio"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func tiny(extra ...string) []string {
@@ -80,6 +84,104 @@ func TestRunInvalidFlags(t *testing.T) {
 	}
 	if err := run(tiny("-alg", "bogus")); err == nil {
 		t.Error("bogus algorithm accepted")
+	}
+}
+
+func TestRunOutputFlagUnwritablePath(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no-such-dir", "out")
+	for _, flagName := range []string{"-trace-out", "-metrics-out", "-record"} {
+		err := run(tiny(flagName, missing))
+		if err == nil {
+			t.Fatalf("%s with unwritable path accepted", flagName)
+		}
+		if !strings.Contains(err.Error(), flagName) {
+			t.Errorf("%s error %q does not name the flag", flagName, err)
+		}
+	}
+}
+
+// readMetricsText extracts counter values from a WriteText snapshot.
+func readMetricsText(t *testing.T, path string) map[string]int64 {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	counters := make(map[string]int64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 3 && fields[0] == "counter" {
+			v, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				t.Fatalf("bad counter line %q: %v", sc.Text(), err)
+			}
+			counters[fields[1]] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return counters
+}
+
+// TestTraceMatchesCounters is the acceptance cross-check: replaying a
+// recorded workload with -trace-out must yield a JSONL trace whose
+// probe-span counts equal the metrics.Counters probe totals, with every
+// span closed.
+func TestTraceMatchesCounters(t *testing.T) {
+	dir := t.TempDir()
+	recorded := filepath.Join(dir, "w.trace")
+	if err := run(tiny("-record", recorded)); err != nil {
+		t.Fatal(err)
+	}
+	spans := filepath.Join(dir, "probes.jsonl")
+	metricsPath := filepath.Join(dir, "counters.txt")
+	if err := run(tiny("-replay", recorded, "-trace-out", spans, "-metrics-out", metricsPath)); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty span trace")
+	}
+	if leaked := obs.LeakedSpans(events); len(leaked) != 0 {
+		t.Fatalf("%d probe spans leaked: %v", len(leaked), leaked)
+	}
+
+	var spawned, returned int64
+	perRequest := make(map[int64]int64)
+	for _, e := range events {
+		switch e.Type {
+		case obs.EventProbeSpawned:
+			spawned++
+			perRequest[e.Req]++
+		case obs.EventProbeReturned:
+			returned++
+		}
+	}
+	counters := readMetricsText(t, metricsPath)
+	if got := counters["experiment.messages.probes"]; got != spawned {
+		t.Errorf("metrics probes = %d, trace has %d probe.spawned events", got, spawned)
+	}
+	if got := counters["experiment.messages.probe_returns"]; got != returned {
+		t.Errorf("metrics probe returns = %d, trace has %d probe.returned events", got, returned)
+	}
+	var fromRequests int64
+	for _, n := range perRequest {
+		fromRequests += n
+	}
+	if fromRequests != spawned {
+		t.Errorf("per-request span counts sum to %d, want %d", fromRequests, spawned)
 	}
 }
 

@@ -1,0 +1,157 @@
+// Command acptrace summarises a probe-lifecycle trace recorded with
+// acpsim -trace-out (or any obs.JSONLSink): per-request span accounting,
+// the prune-reason taxonomy, and span-leak detection.
+//
+// Usage:
+//
+//	acpsim -trace-out probes.jsonl && acptrace probes.jsonl
+//	acptrace -requests probes.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "acptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("acptrace", flag.ContinueOnError)
+	perReq := fs.Bool("requests", false, "print the per-request span table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if fs.NArg() > 1 {
+		return fmt.Errorf("expected at most one trace file, got %d", fs.NArg())
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		name = fs.Arg(0)
+	}
+	events, err := obs.ReadEvents(in)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: empty trace", name)
+	}
+
+	s := summarise(events)
+	fmt.Fprintf(w, "trace            %s: %d events, %d requests\n", name, len(events), len(s.requests))
+	fmt.Fprintf(w, "spans            %d spawned, %d returned, %d forwarded, %d dropped, %d pruned in flight\n",
+		s.spawned, s.returned, s.forwarded, s.dropped, s.prunedInFlight)
+	fmt.Fprintf(w, "decisions        %d committed, %d rolled back\n", s.committed, s.rolledBack)
+	if len(s.pruneReasons) > 0 {
+		fmt.Fprintln(w, "prune reasons:")
+		for _, reason := range sortedReasonKeys(s.pruneReasons) {
+			fmt.Fprintf(w, "  %-16s %d\n", reason, s.pruneReasons[reason])
+		}
+	}
+	if leaked := obs.LeakedSpans(events); len(leaked) > 0 {
+		fmt.Fprintf(w, "LEAKED SPANS     %d probes never closed: %v\n", len(leaked), leaked)
+	} else {
+		fmt.Fprintln(w, "span check       every spawned probe span closed")
+	}
+
+	if *perReq {
+		fmt.Fprintln(w, "\nper-request spans (request, spawned, returned, pruned):")
+		for _, id := range sortedRequestIDs(s.requests) {
+			r := s.requests[id]
+			fmt.Fprintf(w, "  %6d  %4d  %4d  %4d\n", id, r.spawned, r.returned, r.pruned)
+		}
+	}
+	return nil
+}
+
+type requestSummary struct {
+	spawned  int
+	returned int
+	pruned   int
+}
+
+type summary struct {
+	spawned, returned, forwarded, dropped int
+	prunedInFlight                        int
+	committed, rolledBack                 int
+	pruneReasons                          map[obs.Reason]int
+	requests                              map[int64]*requestSummary
+}
+
+func summarise(events []obs.Event) summary {
+	s := summary{
+		pruneReasons: make(map[obs.Reason]int),
+		requests:     make(map[int64]*requestSummary),
+	}
+	req := func(id int64) *requestSummary {
+		r, ok := s.requests[id]
+		if !ok {
+			r = &requestSummary{}
+			s.requests[id] = r
+		}
+		return r
+	}
+	for _, e := range events {
+		switch e.Type {
+		case obs.EventRequestReceived:
+			req(e.Req)
+		case obs.EventProbeSpawned:
+			s.spawned++
+			req(e.Req).spawned++
+		case obs.EventProbeReturned:
+			s.returned++
+			req(e.Req).returned++
+		case obs.EventProbeForwarded:
+			s.forwarded++
+		case obs.EventProbeDropped:
+			s.dropped++
+			s.pruneReasons[e.Reason]++
+		case obs.EventCandidatePruned:
+			s.pruneReasons[e.Reason]++
+			req(e.Req).pruned++
+			if e.Probe != 0 {
+				s.prunedInFlight++
+			}
+		case obs.EventCommitted:
+			s.committed++
+		case obs.EventRolledBack:
+			s.rolledBack++
+		}
+	}
+	return s
+}
+
+func sortedReasonKeys(m map[obs.Reason]int) []obs.Reason {
+	out := make([]obs.Reason, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedRequestIDs(m map[int64]*requestSummary) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// writeTrace records a small balanced trace: two requests, three probes,
+// one pruned in flight.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "probes.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONLSink(f)
+	tr := obs.New(sink)
+	tr.RequestReceived(1, 0)
+	tr.ProbeSpawned(1, 1, 0, 2, 1.5)
+	tr.ProbeForwarded(1, 1, 0, 2, 1)
+	tr.ProbeSpawned(1, 2, 1, 3, 2.5)
+	tr.ProbeReturned(1, 2, 3, 4.0)
+	tr.Decided(1, 0, "")
+	tr.Committed(1, 0)
+	tr.RequestReceived(2, 5)
+	tr.CandidatePruned(2, 0, 0, 6, obs.ReasonQoS)
+	tr.ProbeSpawned(2, 3, 0, 7, 1.0)
+	tr.CandidatePruned(2, 3, 0, 7, obs.ReasonResources)
+	tr.Decided(2, 5, obs.ReasonNoComposition)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummariseTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-requests", writeTrace(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"2 requests",
+		"3 spawned, 1 returned, 1 forwarded, 0 dropped, 1 pruned in flight",
+		"1 committed, 0 rolled back",
+		"qos",
+		"resources",
+		"every spawned probe span closed",
+		"per-request spans",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestLeakedSpanReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "leak.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONLSink(f)
+	tr := obs.New(sink)
+	tr.ProbeSpawned(1, 7, 0, 2, 1.0)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "LEAKED SPANS") {
+		t.Errorf("leak not reported:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.jsonl")}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &out); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if err := run([]string{"a", "b"}, &out); err == nil {
+		t.Error("two positional args accepted")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/component"
 	"repro/internal/discovery"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/qos"
 	"repro/internal/state"
@@ -104,6 +105,10 @@ type Env struct {
 	// Rand drives the random selections of SP/RP/Random and tie
 	// shuffling.
 	Rand *rand.Rand
+	// Tracer, when non-nil, receives probe-lifecycle events (spawns,
+	// prunes, holds, returns, commits). nil disables tracing; the probe
+	// hot path then pays only a pointer check.
+	Tracer *obs.Tracer
 }
 
 func (e *Env) validate() error {
@@ -288,21 +293,25 @@ func (c *Composer) Commit(o *Outcome) error {
 	}
 	nodes, links := c.demands(o.Request, o.Best)
 	if err := c.env.Ledger.CommitSession(state.Owner(o.Request.ID), nodes, links); err != nil {
+		c.env.Tracer.RolledBack(o.Request.ID, o.Request.Client, obs.ReasonCommitNack)
 		return fmt.Errorf("request %d: %w", o.Request.ID, err)
 	}
-	c.env.Counters.Confirmations += int64(len(o.Best.Components))
+	c.env.Counters.AddConfirmations(int64(len(o.Best.Components)))
+	c.env.Tracer.Committed(o.Request.ID, o.Request.Client)
 	return nil
 }
 
 // Release tears down a committed session (§2.2 Close).
 func (c *Composer) Release(requestID int64) {
 	c.env.Ledger.ReleaseSession(state.Owner(requestID))
+	c.env.Tracer.SessionReleased(requestID)
 }
 
 // Abort releases any transient holds still owned by the request, e.g.
 // when the caller decides not to commit a successful outcome.
 func (c *Composer) Abort(requestID int64) {
 	c.env.Ledger.ReleaseOwner(state.Owner(requestID))
+	c.env.Tracer.RolledBack(requestID, -1, obs.ReasonAbort)
 }
 
 // demands folds a composition into per-node resource and per-overlay-link

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/component"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/qos"
 	"repro/internal/state"
@@ -23,6 +24,7 @@ type probeState struct {
 	comps   []component.ComponentID // per position; valid for assigned set
 	acc     qos.Vector
 	latency float64 // ms travelled
+	id      int64   // tracer span ID; 0 when tracing is disabled (or root)
 }
 
 // walkState tracks per-request probing context.
@@ -83,6 +85,8 @@ func (w *walkState) route(c *Composer, from, to int) overlay.Route {
 func (c *Composer) probeWalk(req *component.Request) (*Outcome, error) {
 	w := c.newWalkState(req)
 	out := &Outcome{Request: req}
+	tr := c.env.Tracer
+	tr.RequestReceived(req.ID, req.Client)
 
 	order, err := req.Graph.TopoOrder()
 	if err != nil {
@@ -106,7 +110,7 @@ func (c *Composer) probeWalk(req *component.Request) (*Outcome, error) {
 			}
 			total += width
 		}
-		c.env.Counters.Probes += total
+		c.env.Counters.AddProbes(total)
 		out.ProbesSent = int(total)
 	}
 
@@ -123,7 +127,14 @@ func (c *Composer) probeWalk(req *component.Request) (*Outcome, error) {
 			alive = append(alive, p)
 			return
 		}
-		for _, child := range c.extendProbe(w, out, p, order[idx], idx == 0) {
+		children := c.extendProbe(w, out, p, order[idx], idx == 0)
+		if p.id != 0 {
+			// Close the parent's span: it survived its own hop and its
+			// children (possibly zero) carry the walk on.
+			tr.ProbeForwarded(req.ID, p.id, order[idx-1],
+				c.env.Catalog.Component(p.comps[order[idx-1]]).Node, len(children))
+		}
+		for _, child := range children {
 			expand(child, idx+1)
 		}
 	}
@@ -136,11 +147,13 @@ func (c *Composer) probeWalk(req *component.Request) (*Outcome, error) {
 	}
 	for _, p := range alive {
 		node := c.env.Catalog.Component(p.comps[lastPos]).Node
-		if l := p.latency + w.route(c, node, req.Client).QoS.Delay; l > w.maxLatency {
+		l := p.latency + w.route(c, node, req.Client).QoS.Delay
+		if l > w.maxLatency {
 			w.maxLatency = l
 		}
+		tr.ProbeReturned(req.ID, p.id, node, l)
 	}
-	c.env.Counters.ProbeReturns += int64(len(alive))
+	c.env.Counters.AddProbeReturns(int64(len(alive)))
 	out.PathsReturned = len(alive)
 
 	best, qualified := c.selectBest(w, alive)
@@ -149,6 +162,8 @@ func (c *Composer) probeWalk(req *component.Request) (*Outcome, error) {
 
 	if best == nil {
 		c.env.Ledger.ReleaseOwner(w.owner)
+		tr.HoldReleased(req.ID, -1)
+		tr.Decided(req.ID, req.Client, obs.ReasonNoComposition)
 		return out, nil
 	}
 	// The deputy has decided: cancel the transient allocations of every
@@ -157,13 +172,17 @@ func (c *Composer) probeWalk(req *component.Request) (*Outcome, error) {
 	// loser holds would squat on candidate nodes for the full timeout,
 	// starving concurrent requests in proportion to the probe fan-out.
 	c.env.Ledger.ReleaseOwner(w.owner)
+	tr.HoldReleased(req.ID, -1)
 	if c.cfg.TransientAllocation {
 		if !c.holdComposition(w, best) {
 			c.env.Ledger.ReleaseOwner(w.owner)
+			tr.HoldReleased(req.ID, -1)
+			tr.Decided(req.ID, req.Client, obs.ReasonNoComposition)
 			return out, nil
 		}
 	}
 	out.Best = best
+	tr.Decided(req.ID, req.Client, "")
 	return out, nil
 }
 
@@ -176,6 +195,7 @@ func (c *Composer) holdComposition(w *walkState, comp *Composition) bool {
 		if !c.env.Ledger.HoldNode(w.owner, 0, node, amount, w.expires) {
 			return false
 		}
+		c.env.Tracer.HoldAcquired(w.req.ID, 0, -1, node)
 	}
 	for link, bw := range links {
 		if !c.env.Ledger.HoldLink(w.owner, 0, link, bw, w.expires) {
@@ -214,10 +234,16 @@ func (c *Composer) extendProbe(w *walkState, out *Outcome, p probeState, pos int
 		return nil
 	}
 	selected := c.selectCandidates(w, p, pos, candidates)
+	tr := c.env.Tracer
 
 	var children []probeState
-	for _, id := range selected {
+	for i, id := range selected {
 		if w.budget <= 0 {
+			if tr.Enabled() {
+				for _, cut := range selected[i:] {
+					tr.CandidatePruned(w.req.ID, 0, pos, c.env.Catalog.Component(cut).Node, obs.ReasonBudget)
+				}
+			}
 			break
 		}
 		w.budget--
@@ -225,7 +251,7 @@ func (c *Composer) extendProbe(w *walkState, out *Outcome, p probeState, pos int
 		// or not the candidate turns out to qualify. Optimal's full
 		// exhaustive cost was charged up front in probeWalk.
 		if c.cfg.Algorithm != AlgOptimal {
-			c.env.Counters.Probes++
+			c.env.Counters.AddProbes(1)
 			out.ProbesSent++
 		}
 
@@ -244,18 +270,27 @@ func (c *Composer) extendProbe(w *walkState, out *Outcome, p probeState, pos int
 			w.maxLatency = latency
 		}
 
+		var pid int64
+		if tr.Enabled() {
+			pid = tr.NextProbeID()
+			tr.ProbeSpawned(w.req.ID, pid, pos, cand.Node, latency)
+		}
+
 		// Precise conformance check at the candidate's node: accumulated
 		// QoS against the user requirement (Eq. 6), application-specific
 		// constraints (security level, §6), and precise local resource
 		// states (Eqs. 7-8). Unqualified probes are dropped immediately
 		// to reduce probing overhead.
 		if acc.MaxRatio(w.req.QoSReq) > 1 {
+			tr.CandidatePruned(w.req.ID, pid, pos, cand.Node, obs.ReasonQoS)
 			continue
 		}
 		if cand.Security < w.req.MinSecurity {
+			tr.CandidatePruned(w.req.ID, pid, pos, cand.Node, obs.ReasonSecurity)
 			continue
 		}
 		if !c.env.Ledger.NodeAvailableFor(w.owner, cand.Node).Covers(w.req.ResReq[pos]) {
+			tr.CandidatePruned(w.req.ID, pid, pos, cand.Node, obs.ReasonResources)
 			continue
 		}
 		feasible := true
@@ -266,6 +301,7 @@ func (c *Composer) extendProbe(w *walkState, out *Outcome, p probeState, pos int
 			}
 		}
 		if !feasible {
+			tr.CandidatePruned(w.req.ID, pid, pos, cand.Node, obs.ReasonBandwidth)
 			continue
 		}
 
@@ -274,8 +310,10 @@ func (c *Composer) extendProbe(w *walkState, out *Outcome, p probeState, pos int
 		// that cannot secure its allocation is dropped.
 		if c.cfg.TransientAllocation {
 			if !c.env.Ledger.HoldNode(w.owner, pos, cand.Node, w.req.ResReq[pos], w.expires) {
+				tr.CandidatePruned(w.req.ID, pid, pos, cand.Node, obs.ReasonHoldNode)
 				continue
 			}
+			tr.HoldAcquired(w.req.ID, pid, pos, cand.Node)
 			held := true
 			for _, route := range routes {
 				for _, link := range route.Links {
@@ -291,6 +329,7 @@ func (c *Composer) extendProbe(w *walkState, out *Outcome, p probeState, pos int
 				}
 			}
 			if !held {
+				tr.CandidatePruned(w.req.ID, pid, pos, cand.Node, obs.ReasonHoldLink)
 				continue
 			}
 		}
@@ -298,7 +337,7 @@ func (c *Composer) extendProbe(w *walkState, out *Outcome, p probeState, pos int
 		comps := make([]component.ComponentID, len(p.comps))
 		copy(comps, p.comps)
 		comps[pos] = id
-		children = append(children, probeState{comps: comps, acc: acc, latency: latency})
+		children = append(children, probeState{comps: comps, acc: acc, latency: latency, id: pid})
 	}
 	return children
 }
@@ -318,6 +357,7 @@ func (c *Composer) selectCandidates(w *walkState, p probeState, pos int, candida
 		m = 1
 	}
 
+	tr := c.env.Tracer
 	if c.cfg.Selection == SelectRandom {
 		if m >= len(candidates) {
 			return candidates
@@ -325,11 +365,17 @@ func (c *Composer) selectCandidates(w *walkState, p probeState, pos int, candida
 		picked := make([]component.ComponentID, len(candidates))
 		copy(picked, candidates)
 		c.env.Rand.Shuffle(len(picked), func(i, j int) { picked[i], picked[j] = picked[j], picked[i] })
+		if tr.Enabled() {
+			for _, cut := range picked[m:] {
+				tr.CandidatePruned(w.req.ID, 0, pos, c.env.Catalog.Component(cut).Node, obs.ReasonRandomRank)
+			}
+		}
 		return picked[:m]
 	}
 
 	type ranked struct {
 		id   component.ComponentID
+		node int
 		risk float64
 		cong float64
 	}
@@ -337,6 +383,7 @@ func (c *Composer) selectCandidates(w *walkState, p probeState, pos int, candida
 	for _, id := range candidates {
 		cand := c.env.Catalog.Component(id)
 		if cand.Security < w.req.MinSecurity {
+			tr.CandidatePruned(w.req.ID, 0, pos, cand.Node, obs.ReasonSecurity)
 			continue
 		}
 		routes, linkQoS := c.predecessorRoutes(w, p, pos, cand.Node)
@@ -345,10 +392,12 @@ func (c *Composer) selectCandidates(w *walkState, p probeState, pos int, candida
 		acc := p.acc.Add(linkQoS).Add(cand.QoS)
 		risk := acc.MaxRatio(w.req.QoSReq)
 		if risk > 1 {
+			tr.CandidatePruned(w.req.ID, 0, pos, cand.Node, obs.ReasonQoS)
 			continue
 		}
 		avail := c.env.Global.NodeAvailable(cand.Node)
 		if !avail.Covers(w.req.ResReq[pos]) {
+			tr.CandidatePruned(w.req.ID, 0, pos, cand.Node, obs.ReasonResources)
 			continue
 		}
 		routeBW := math.Inf(1)
@@ -356,13 +405,14 @@ func (c *Composer) selectCandidates(w *walkState, p probeState, pos int, candida
 			routeBW = math.Min(routeBW, c.env.Global.RouteAvailable(route))
 		}
 		if routeBW < w.req.BandwidthReq {
+			tr.CandidatePruned(w.req.ID, 0, pos, cand.Node, obs.ReasonBandwidth)
 			continue
 		}
 
 		// Congestion function W (Eq. 10) on coarse residuals.
 		cong := qos.CongestionTerm(w.req.ResReq[pos], avail.Sub(w.req.ResReq[pos])) +
 			qos.BandwidthCongestionTerm(w.req.BandwidthReq, routeBW-w.req.BandwidthReq)
-		qualified = append(qualified, ranked{id: id, risk: risk, cong: cong})
+		qualified = append(qualified, ranked{id: id, node: cand.Node, risk: risk, cong: cong})
 	}
 	if len(qualified) <= m {
 		out := make([]component.ComponentID, len(qualified))
@@ -376,11 +426,36 @@ func (c *Composer) selectCandidates(w *walkState, p probeState, pos int, candida
 	sort.SliceStable(qualified, func(i, j int) bool {
 		return less(qualified[i].risk, qualified[i].cong, qualified[j].risk, qualified[j].cong)
 	})
+	if tr.Enabled() {
+		for _, cut := range qualified[m:] {
+			tr.CandidatePruned(w.req.ID, 0, pos, cut.node,
+				rankCutReason(c.cfg.Selection, cut.risk, qualified[m-1].risk))
+		}
+	}
 	out := make([]component.ComponentID, m)
 	for i := 0; i < m; i++ {
 		out[i] = qualified[i].id
 	}
 	return out
+}
+
+// rankCutReason attributes a ranking cut to the risk function D or the
+// congestion function W: a cut candidate whose risk differs from the last
+// admitted one's by more than the 5% similarity band lost on risk; one
+// inside the band was tie-broken by congestion.
+func rankCutReason(sel SelectionPolicy, cutRisk, lastKeptRisk float64) obs.Reason {
+	const band = 0.05
+	switch sel {
+	case SelectRiskOnly:
+		return obs.ReasonRiskRank
+	case SelectCongestionOnly:
+		return obs.ReasonCongestionRank
+	default:
+		if math.Abs(cutRisk-lastKeptRisk) > band*math.Max(cutRisk, lastKeptRisk) {
+			return obs.ReasonRiskRank
+		}
+		return obs.ReasonCongestionRank
+	}
 }
 
 // rankLess returns the comparison for the configured selection policy.
@@ -483,12 +558,15 @@ func (c *Composer) evaluate(w *walkState, assign []component.ComponentID) (*Comp
 func (c *Composer) probeDirect(req *component.Request) (*Outcome, error) {
 	w := c.newWalkState(req)
 	out := &Outcome{Request: req}
+	tr := c.env.Tracer
+	tr.RequestReceived(req.ID, req.Client)
 
 	n := req.Graph.NumPositions()
 	assign := make([]component.ComponentID, n)
 	for pos := 0; pos < n; pos++ {
 		candidates := w.lookup(c, req.Graph.Functions[pos])
 		if len(candidates) == 0 {
+			tr.Decided(req.ID, req.Client, obs.ReasonNoComposition)
 			return out, nil
 		}
 		switch c.cfg.Algorithm {
@@ -499,24 +577,39 @@ func (c *Composer) probeDirect(req *component.Request) (*Outcome, error) {
 		}
 	}
 
-	// One verification probe visits each chosen component in turn.
-	c.env.Counters.Probes += int64(n)
+	// One verification probe visits each chosen component in turn; each
+	// hop is charged as one probe message.
+	c.env.Counters.AddProbes(int64(n))
 	out.ProbesSent = n
 	prev := req.Client
 	latency := 0.0
-	for _, id := range assign {
+	var lastPid int64
+	for pos, id := range assign {
 		node := c.env.Catalog.Component(id).Node
 		latency += w.route(c, prev, node).QoS.Delay
 		prev = node
+		if tr.Enabled() {
+			pid := tr.NextProbeID()
+			tr.ProbeSpawned(req.ID, pid, pos, node, latency)
+			if pos < n-1 {
+				tr.ProbeForwarded(req.ID, pid, pos, node, 1)
+			} else {
+				lastPid = pid
+			}
+		}
 	}
 	latency += w.route(c, prev, req.Client).QoS.Delay
+	if lastPid != 0 {
+		tr.ProbeReturned(req.ID, lastPid, prev, latency)
+	}
 	w.maxLatency = latency
-	c.env.Counters.ProbeReturns++
+	c.env.Counters.AddProbeReturns(1)
 	out.PathsReturned = 1
 	out.Latency = 2 * time.Duration(w.maxLatency*float64(time.Millisecond))
 
 	comp, ok := c.evaluate(w, assign)
 	if !ok {
+		tr.Decided(req.ID, req.Client, obs.ReasonNoComposition)
 		return out, nil
 	}
 	if c.cfg.TransientAllocation {
@@ -526,13 +619,18 @@ func (c *Composer) probeDirect(req *component.Request) (*Outcome, error) {
 			node := c.env.Catalog.Component(id).Node
 			if !c.env.Ledger.HoldNode(w.owner, pos, node, req.ResReq[pos], w.expires) {
 				c.env.Ledger.ReleaseOwner(w.owner)
+				tr.HoldReleased(req.ID, -1)
+				tr.Decided(req.ID, req.Client, obs.ReasonNoComposition)
 				return out, nil
 			}
+			tr.HoldAcquired(req.ID, 0, pos, node)
 		}
 		for i, route := range comp.Routes {
 			for _, link := range route.Links {
 				if !c.env.Ledger.HoldLink(w.owner, i, link, req.BandwidthReq, w.expires) {
 					c.env.Ledger.ReleaseOwner(w.owner)
+					tr.HoldReleased(req.ID, -1)
+					tr.Decided(req.ID, req.Client, obs.ReasonNoComposition)
 					return out, nil
 				}
 			}
@@ -540,5 +638,6 @@ func (c *Composer) probeDirect(req *component.Request) (*Outcome, error) {
 	}
 	out.Qualified = 1
 	out.Best = comp
+	tr.Decided(req.ID, req.Client, "")
 	return out, nil
 }

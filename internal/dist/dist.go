@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/component"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/qos"
 	"repro/internal/topology"
@@ -59,6 +60,13 @@ type Config struct {
 	UpdateThreshold float64
 	// MailboxSize bounds each node's message queue.
 	MailboxSize int
+	// Tracer, when non-nil, receives probe-lifecycle span events from
+	// every node goroutine (the Tracer is safe for concurrent emitters).
+	// nil disables tracing; the hot path then pays only a pointer check.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, exposes cluster counters and histograms
+	// (probes sent/dropped/returned, commits, rollbacks). nil disables.
+	Registry *obs.Registry
 }
 
 // DefaultConfig returns a test-sized distributed cluster.
@@ -88,6 +96,30 @@ type Composition struct {
 	owner int64 // internal request ID the session was committed under
 }
 
+// instruments caches registry lookups once at cluster construction so
+// node goroutines touch only atomic instrument fields (all nil-safe).
+type instruments struct {
+	probesSent    *obs.Counter
+	probesDropped *obs.Counter
+	probeReturns  *obs.Counter
+	commits       *obs.Counter
+	rollbacks     *obs.Counter
+	noComposition *obs.Counter
+	probeDelayMs  *obs.Histogram
+}
+
+func newInstruments(r *obs.Registry) instruments {
+	return instruments{
+		probesSent:    r.Counter("dist.probes.sent"),
+		probesDropped: r.Counter("dist.probes.dropped"),
+		probeReturns:  r.Counter("dist.probes.returned"),
+		commits:       r.Counter("dist.commits"),
+		rollbacks:     r.Counter("dist.rollbacks"),
+		noComposition: r.Counter("dist.no_composition"),
+		probeDelayMs:  r.Histogram("dist.probe.delay_ms", []float64{1, 2, 5, 10, 25, 50, 100, 250}),
+	}
+}
+
 // Cluster runs the distributed protocol.
 type Cluster struct {
 	cfg     Config
@@ -95,6 +127,8 @@ type Cluster struct {
 	catalog *component.Catalog
 	nodes   []*node
 	links   *linkTable
+	tracer  *obs.Tracer
+	ins     instruments
 
 	mu      sync.Mutex
 	nextReq int64
@@ -143,6 +177,8 @@ func New(cfg Config) (*Cluster, error) {
 		mesh:    mesh,
 		catalog: catalog,
 		links:   newLinkTable(mesh),
+		tracer:  cfg.Tracer,
+		ins:     newInstruments(cfg.Registry),
 		done:    make(chan struct{}),
 	}
 	c.nodes = make([]*node, mesh.NumNodes())
@@ -212,6 +248,7 @@ func (c *Cluster) Release(req *component.Request, comp *Composition) {
 		c.nodes[nodeID].send(releaseMsg{owner: comp.owner, amount: amount})
 	}
 	c.links.release(demands.links)
+	c.tracer.SessionReleased(comp.owner)
 }
 
 // Shutdown stops every node goroutine and waits for them to exit.
@@ -228,6 +265,29 @@ func (c *Cluster) Shutdown() {
 		close(n.quit)
 	}
 	c.wg.Wait()
+	c.drainMailboxes()
+}
+
+// drainMailboxes closes the span of every probe still queued when the
+// node goroutines stopped, so a recorded trace balances: each spawned
+// probe ends in exactly one returned/forwarded/dropped/pruned event.
+func (c *Cluster) drainMailboxes() {
+	if !c.tracer.Enabled() {
+		return
+	}
+	for _, n := range c.nodes {
+		for drained := false; !drained; {
+			select {
+			case m := <-n.mailbox:
+				if pm, ok := m.(probeMsg); ok && pm.probe != 0 {
+					c.tracer.ProbeDropped(pm.req.ID, pm.probe, pm.idx, n.id, obs.ReasonShutdown)
+					c.ins.probesDropped.Inc()
+				}
+			default:
+				drained = true
+			}
+		}
+	}
 }
 
 // demands aggregates a composition's per-node resource and per-link

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/component"
+	"repro/internal/obs"
 	"repro/internal/qos"
 )
 
@@ -29,6 +30,7 @@ type composeReply struct {
 // (§3.3 step 2).
 type probeMsg struct {
 	req    *component.Request
+	probe  int64 // tracer span ID; 0 when tracing is disabled
 	deputy int
 	idx    int // index into the topological order
 	chosen component.ComponentID
@@ -232,6 +234,7 @@ func (n *node) purgeHolds() {
 		if !h.expires.After(now) {
 			n.heldTotal = n.heldTotal.Sub(h.amount)
 			delete(n.holds, key)
+			n.c.tracer.HoldReleased(key.owner, n.id)
 		}
 	}
 }
@@ -252,11 +255,16 @@ func (n *node) holdFor(owner int64, pos int, amount qos.Resources) bool {
 }
 
 func (n *node) releaseHolds(owner int64) {
+	released := 0
 	for key, h := range n.holds {
 		if key.owner == owner {
 			n.heldTotal = n.heldTotal.Sub(h.amount)
 			delete(n.holds, key)
+			released++
 		}
+	}
+	if released > 0 {
+		n.c.tracer.HoldReleased(owner, n.id)
 	}
 }
 
@@ -288,6 +296,7 @@ func (n *node) onCompose(msg composeMsg) {
 		msg.reply <- composeReply{err: err}
 		return
 	}
+	n.c.tracer.RequestReceived(msg.req.ID, n.id)
 	p := &pendingCompose{req: msg.req, order: order, reply: msg.reply}
 	n.pending[msg.req.ID] = p
 
@@ -296,6 +305,8 @@ func (n *node) onCompose(msg composeMsg) {
 		qos.Vector{}, nil)
 	if sent == 0 {
 		delete(n.pending, msg.req.ID)
+		n.c.tracer.Decided(msg.req.ID, n.id, obs.ReasonNoComposition)
+		n.c.ins.noComposition.Inc()
 		msg.reply <- composeReply{err: ErrNoComposition}
 		return
 	}
@@ -311,11 +322,18 @@ func (n *node) fanOut(req *component.Request, order []int, idx int,
 	assign []component.ComponentID, acc qos.Vector, avails []qos.Resources) int {
 
 	selected := n.selectCandidates(req, order, idx, assign, acc)
+	tr := n.c.tracer
 	sent := 0
 	for _, id := range selected {
 		host := n.c.catalog.Component(id).Node
+		var pid int64
+		if tr.Enabled() {
+			pid = tr.NextProbeID()
+			tr.ProbeSpawned(req.ID, pid, order[idx], host, acc.Delay)
+		}
 		msg := probeMsg{
 			req:    req,
+			probe:  pid,
 			deputy: req.Client,
 			idx:    idx,
 			chosen: id,
@@ -325,6 +343,10 @@ func (n *node) fanOut(req *component.Request, order []int, idx int,
 		}
 		if n.c.nodes[host].send(msg) {
 			sent++
+			n.c.ins.probesSent.Inc()
+		} else {
+			tr.ProbeDropped(req.ID, pid, order[idx], host, obs.ReasonMailbox)
+			n.c.ins.probesDropped.Inc()
 		}
 	}
 	return sent
@@ -346,40 +368,61 @@ func (n *node) selectCandidates(req *component.Request, order []int, idx int,
 		m = 1
 	}
 
+	tr := n.c.tracer
 	type ranked struct {
 		id   component.ComponentID
+		node int
 		risk float64
 		cong float64
 	}
 	var qualified []ranked
 	for _, id := range candidates {
 		cand := n.c.catalog.Component(id)
-		if cand.Security < req.MinSecurity || !n.c.catalog.Usable(id) {
+		if !n.c.catalog.Usable(id) {
+			continue
+		}
+		if cand.Security < req.MinSecurity {
+			tr.CandidatePruned(req.ID, 0, pos, cand.Node, obs.ReasonSecurity)
 			continue
 		}
 		linkQoS, routeBW := n.predecessorLinks(req, pos, assign, cand.Node)
 		candAcc := acc.Add(linkQoS).Add(cand.QoS)
 		risk := candAcc.MaxRatio(req.QoSReq)
 		if risk > 1 {
+			tr.CandidatePruned(req.ID, 0, pos, cand.Node, obs.ReasonQoS)
 			continue
 		}
 		avail := n.view[cand.Node]
-		if !avail.Covers(req.ResReq[pos]) || routeBW < req.BandwidthReq {
+		if !avail.Covers(req.ResReq[pos]) {
+			tr.CandidatePruned(req.ID, 0, pos, cand.Node, obs.ReasonResources)
+			continue
+		}
+		if routeBW < req.BandwidthReq {
+			tr.CandidatePruned(req.ID, 0, pos, cand.Node, obs.ReasonBandwidth)
 			continue
 		}
 		cong := qos.CongestionTerm(req.ResReq[pos], avail.Sub(req.ResReq[pos])) +
 			qos.BandwidthCongestionTerm(req.BandwidthReq, routeBW-req.BandwidthReq)
-		qualified = append(qualified, ranked{id: id, risk: risk, cong: cong})
+		qualified = append(qualified, ranked{id: id, node: cand.Node, risk: risk, cong: cong})
 	}
+	const band = 0.05
 	if len(qualified) > m {
 		sort.SliceStable(qualified, func(i, j int) bool {
-			const band = 0.05
 			ri, rj := qualified[i].risk, qualified[j].risk
 			if math.Abs(ri-rj) > band*math.Max(ri, rj) {
 				return ri < rj
 			}
 			return qualified[i].cong < qualified[j].cong
 		})
+		if tr.Enabled() {
+			for _, cut := range qualified[m:] {
+				reason := obs.ReasonCongestionRank
+				if math.Abs(cut.risk-qualified[m-1].risk) > band*math.Max(cut.risk, qualified[m-1].risk) {
+					reason = obs.ReasonRiskRank
+				}
+				tr.CandidatePruned(req.ID, 0, pos, cut.node, reason)
+			}
+		}
 		qualified = qualified[:m]
 	}
 	out := make([]component.ComponentID, len(qualified))
@@ -414,8 +457,10 @@ func (n *node) predecessorLinks(req *component.Request, pos int,
 func (n *node) onProbe(msg probeMsg) {
 	req := msg.req
 	pos := msg.idx
+	tr := n.c.tracer
 	order, err := req.Graph.TopoOrder()
 	if err != nil {
+		tr.ProbeDropped(req.ID, msg.probe, pos, n.id, obs.ReasonInternal)
 		return
 	}
 	gpos := order[pos]
@@ -426,30 +471,50 @@ func (n *node) onProbe(msg probeMsg) {
 
 	// Precise conformance (Eqs. 6-8) against this node's own state; drop
 	// unqualified probes immediately.
-	if acc.MaxRatio(req.QoSReq) > 1 || cand.Security < req.MinSecurity {
+	if cand.Security < req.MinSecurity {
+		tr.CandidatePruned(req.ID, msg.probe, gpos, n.id, obs.ReasonSecurity)
 		return
 	}
-	if !n.availableFor(req.ID).Covers(req.ResReq[gpos]) || routeBW < req.BandwidthReq {
+	if acc.MaxRatio(req.QoSReq) > 1 {
+		tr.CandidatePruned(req.ID, msg.probe, gpos, n.id, obs.ReasonQoS)
+		return
+	}
+	if !n.availableFor(req.ID).Covers(req.ResReq[gpos]) {
+		tr.CandidatePruned(req.ID, msg.probe, gpos, n.id, obs.ReasonResources)
+		return
+	}
+	if routeBW < req.BandwidthReq {
+		tr.CandidatePruned(req.ID, msg.probe, gpos, n.id, obs.ReasonBandwidth)
 		return
 	}
 	if !n.holdFor(req.ID, gpos, req.ResReq[gpos]) {
+		tr.CandidatePruned(req.ID, msg.probe, gpos, n.id, obs.ReasonHoldNode)
 		return
 	}
+	tr.HoldAcquired(req.ID, msg.probe, gpos, n.id)
 
 	assign := append([]component.ComponentID(nil), msg.assign...)
 	assign[gpos] = msg.chosen
 	avails := append(append([]qos.Resources(nil), msg.avails...), n.available())
 
 	if msg.idx == len(order)-1 {
-		n.c.nodes[msg.deputy].send(returnMsg{
+		if n.c.nodes[msg.deputy].send(returnMsg{
 			reqID:  req.ID,
 			assign: assign,
 			acc:    acc,
 			avails: avails,
-		})
+		}) {
+			tr.ProbeReturned(req.ID, msg.probe, n.id, acc.Delay)
+			n.c.ins.probeReturns.Inc()
+			n.c.ins.probeDelayMs.Observe(acc.Delay)
+		} else {
+			tr.ProbeDropped(req.ID, msg.probe, pos, n.id, obs.ReasonMailbox)
+			n.c.ins.probesDropped.Inc()
+		}
 		return
 	}
-	n.fanOut(req, order, msg.idx+1, assign, acc, avails)
+	children := n.fanOut(req, order, msg.idx+1, assign, acc, avails)
+	tr.ProbeForwarded(req.ID, msg.probe, gpos, n.id, children)
 }
 
 // onReturn records a completed probe at the deputy.
@@ -485,14 +550,19 @@ func (n *node) onDecide(reqID int64) {
 	}
 	if best == nil {
 		delete(n.pending, reqID)
+		n.c.tracer.Decided(reqID, n.id, obs.ReasonNoComposition)
+		n.c.ins.noComposition.Inc()
 		p.reply <- composeReply{err: ErrNoComposition}
 		return
 	}
+	n.c.tracer.Decided(reqID, n.id, "")
 
 	// Commit phase: bandwidth first (atomic all-or-nothing), then the
 	// per-node resource confirmations.
 	if !n.c.links.reserve(bestDem.links) {
 		delete(n.pending, reqID)
+		n.c.tracer.RolledBack(reqID, n.id, obs.ReasonBandwidth)
+		n.c.ins.rollbacks.Inc()
 		p.reply <- composeReply{err: ErrNoComposition}
 		return
 	}
@@ -602,7 +672,7 @@ func (n *node) onCommitAck(msg commitAckMsg) {
 		return
 	}
 	if !msg.ok {
-		n.rollback(p, msg.reqID)
+		n.rollback(p, msg.reqID, obs.ReasonCommitNack)
 		return
 	}
 	p.needAcks[msg.node] = true
@@ -613,6 +683,8 @@ func (n *node) onCommitAck(msg commitAckMsg) {
 		}
 	}
 	delete(n.pending, msg.reqID)
+	n.c.tracer.Committed(msg.reqID, n.id)
+	n.c.ins.commits.Inc()
 	p.reply <- composeReply{comp: p.comp}
 }
 
@@ -622,13 +694,15 @@ func (n *node) onCommitTimeout(reqID int64) {
 	if !ok || p.comp == nil {
 		return
 	}
-	n.rollback(p, reqID)
+	n.rollback(p, reqID, obs.ReasonCommitTimeout)
 }
 
 // rollback releases whatever the commit phase already acquired and
 // reports failure.
-func (n *node) rollback(p *pendingCompose, reqID int64) {
+func (n *node) rollback(p *pendingCompose, reqID int64, reason obs.Reason) {
 	delete(n.pending, reqID)
+	n.c.tracer.RolledBack(reqID, n.id, reason)
+	n.c.ins.rollbacks.Inc()
 	n.c.links.release(p.linkDemand)
 	for nodeID, amount := range p.ackedNodes {
 		if nodeID == n.id {

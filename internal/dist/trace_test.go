@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTracedComposeBalancesSpans runs traced compositions — including
+// concurrent and infeasible ones — and asserts the core trace invariant:
+// after Shutdown every spawned probe span was closed by exactly one
+// returned/forwarded/dropped/pruned event.
+func TestTracedComposeBalancesSpans(t *testing.T) {
+	sink := &obs.MemorySink{}
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Tracer = obs.New(sink)
+	cfg.Registry = reg
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			req := easyRequest(client)
+			if client%3 == 0 {
+				// Infeasible QoS: every candidate prunes.
+				req.QoSReq.Delay = 0.0001
+			}
+			comp, err := c.Compose(req)
+			if err == nil {
+				c.Release(req, comp)
+			}
+		}(i)
+	}
+	wg.Wait()
+	c.Shutdown()
+
+	events := sink.Events()
+	if leaked := obs.LeakedSpans(events); len(leaked) != 0 {
+		t.Fatalf("%d probe spans leaked after shutdown: %v", len(leaked), leaked)
+	}
+
+	var spawned, returned, received int
+	for _, e := range events {
+		switch e.Type {
+		case obs.EventProbeSpawned:
+			spawned++
+		case obs.EventProbeReturned:
+			returned++
+		case obs.EventRequestReceived:
+			received++
+		}
+	}
+	if spawned == 0 {
+		t.Fatal("no probe spans recorded")
+	}
+	if received != 6 {
+		t.Errorf("request.received events = %d, want 6", received)
+	}
+
+	// The registry counters and the trace describe the same run.
+	snap := reg.Snapshot()
+	if got := snap.Counters["dist.probes.returned"]; got != int64(returned) {
+		t.Errorf("dist.probes.returned = %d, trace has %d probe.returned events", got, returned)
+	}
+	sent := snap.Counters["dist.probes.sent"]
+	dropped := snap.Counters["dist.probes.dropped"]
+	if int64(spawned) > sent+dropped {
+		t.Errorf("spawned spans %d exceed sent %d + dropped %d", spawned, sent, dropped)
+	}
+}

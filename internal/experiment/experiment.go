@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/discovery"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/placement"
 	"repro/internal/qos"
@@ -196,6 +197,13 @@ type RunConfig struct {
 	// synthetic workload: each record's request is composed at its
 	// recorded arrival time, and Phases is ignored.
 	Replay []trace.Record
+	// Tracer, when non-nil, receives probe-lifecycle events from the
+	// composition engine. Its clock is re-based onto the simulator's
+	// virtual time, so event timestamps are simulated microseconds.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, receives the run's message counters and
+	// summary gauges after the run completes. nil disables.
+	Registry *obs.Registry
 }
 
 // DefaultRunConfig returns the paper's standard efficiency-run settings:
@@ -226,6 +234,8 @@ type Result struct {
 	// aggregation messages for the algorithms that consume global state
 	// (§4.2's accounting).
 	OverheadPerMinute float64
+	// PhaseBreakdown attributes control messages to protocol phases.
+	PhaseBreakdown PhaseOverhead
 	// SuccessSeries samples the success rate per sampling window.
 	SuccessSeries []metrics.Point
 	// RatioSeries samples the probing ratio per sampling window.
@@ -244,6 +254,25 @@ type Result struct {
 	Disrupted int64
 	// Recomposed counts disrupted sessions successfully re-composed.
 	Recomposed int64
+}
+
+// PhaseOverhead splits a run's control messages into the protocol's
+// phases: probing (probes + returns), state maintenance (updates +
+// aggregations), commit (confirmations), and discovery.
+type PhaseOverhead struct {
+	Probing      int64 `json:"probing"`
+	StateUpdates int64 `json:"state_updates"`
+	Commit       int64 `json:"commit"`
+	Discovery    int64 `json:"discovery"`
+}
+
+func phaseBreakdown(c metrics.Counters) PhaseOverhead {
+	return PhaseOverhead{
+		Probing:      c.Probes + c.ProbeReturns,
+		StateUpdates: c.StateUpdates + c.Aggregations,
+		Commit:       c.Confirmations,
+		Discovery:    c.Discovery,
+	}
 }
 
 func (r *RunConfig) withDefaults() RunConfig {
@@ -297,6 +326,11 @@ func Run(p *Platform, rc RunConfig) (*Result, error) {
 		// platform stays pristine across runs.
 		catalog = p.Catalog.Clone()
 	}
+	if cfg.Tracer != nil {
+		// Trace timestamps follow the simulated clock, so a recorded
+		// trace replays onto the same timeline the run reports.
+		cfg.Tracer.SetClock(engine.Now)
+	}
 	env := core.Env{
 		Mesh:     p.Mesh,
 		Catalog:  catalog,
@@ -306,6 +340,7 @@ func Run(p *Platform, rc RunConfig) (*Result, error) {
 		Counters: counters,
 		Now:      engine.Now,
 		Rand:     rng,
+		Tracer:   cfg.Tracer,
 	}
 	ccfg := core.Config{
 		Algorithm:           cfg.Algorithm,
@@ -482,12 +517,13 @@ func (r *run) execute() (*Result, error) {
 	res := &Result{
 		SuccessRate:   rate,
 		Requests:      requests,
-		Messages:      *r.counters,
+		Messages:      r.counters.Snapshot(),
 		SuccessSeries: r.successSer.Points(),
 		RatioSeries:   r.ratioSer.Points(),
 	}
 	minutes := r.cfg.Duration.Minutes()
-	res.OverheadPerMinute = float64(overheadMessages(r.cfg.Algorithm, *r.counters)) / minutes
+	res.OverheadPerMinute = float64(overheadMessages(r.cfg.Algorithm, res.Messages)) / minutes
+	res.PhaseBreakdown = phaseBreakdown(res.Messages)
 	if r.latencyCount > 0 {
 		res.MeanProbeLatency = time.Duration(int64(r.totalLatency) / r.latencyCount)
 	}
@@ -503,7 +539,27 @@ func (r *run) execute() (*Result, error) {
 	res.Failures = r.failures
 	res.Disrupted = r.disrupted
 	res.Recomposed = r.recomposed
+	r.publishInstruments(res)
 	return res, nil
+}
+
+// publishInstruments mirrors the run's results into the obs registry so
+// tools dump one snapshot covering both trace and counters.
+func (r *run) publishInstruments(res *Result) {
+	reg := r.cfg.Registry
+	if reg == nil {
+		return
+	}
+	reg.Counter("experiment.requests").Add(res.Requests)
+	reg.Counter("experiment.messages.probes").Add(res.Messages.Probes)
+	reg.Counter("experiment.messages.probe_returns").Add(res.Messages.ProbeReturns)
+	reg.Counter("experiment.messages.state_updates").Add(res.Messages.StateUpdates)
+	reg.Counter("experiment.messages.aggregations").Add(res.Messages.Aggregations)
+	reg.Counter("experiment.messages.confirmations").Add(res.Messages.Confirmations)
+	reg.Counter("experiment.messages.discovery").Add(res.Messages.Discovery)
+	reg.Gauge("experiment.success_rate").Set(res.SuccessRate)
+	reg.Gauge("experiment.overhead_per_minute").Set(res.OverheadPerMinute)
+	reg.Gauge("experiment.mean_phi").Set(res.MeanPhi)
 }
 
 // overheadMessages applies the paper's per-algorithm overhead accounting:

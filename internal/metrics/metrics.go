@@ -9,12 +9,19 @@ package metrics
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
 // Counters tallies control-plane messages by kind. The paper's overhead
 // figures count probes plus global-state update messages for ACP, probes
 // only for RP, and exhaustive probes for Optimal.
+//
+// One instance may be shared across goroutines (e.g. the dist cluster's
+// node goroutines) provided every mutation goes through the Add*
+// methods, which use sync/atomic; the exported fields remain plain
+// int64s so value copies, literals, and snapshot reads keep working.
+// Read a live shared instance with Snapshot rather than copying it.
 type Counters struct {
 	// Probes counts probe message transmissions (one per hop per probe).
 	Probes int64
@@ -34,15 +41,52 @@ type Counters struct {
 	Migrations int64
 }
 
+// AddProbes atomically adds n probe transmissions.
+func (c *Counters) AddProbes(n int64) { atomic.AddInt64(&c.Probes, n) }
+
+// AddProbeReturns atomically adds n probe returns.
+func (c *Counters) AddProbeReturns(n int64) { atomic.AddInt64(&c.ProbeReturns, n) }
+
+// AddStateUpdates atomically adds n global-state update messages.
+func (c *Counters) AddStateUpdates(n int64) { atomic.AddInt64(&c.StateUpdates, n) }
+
+// AddAggregations atomically adds n aggregation messages.
+func (c *Counters) AddAggregations(n int64) { atomic.AddInt64(&c.Aggregations, n) }
+
+// AddConfirmations atomically adds n confirmation messages.
+func (c *Counters) AddConfirmations(n int64) { atomic.AddInt64(&c.Confirmations, n) }
+
+// AddDiscovery atomically adds n discovery lookup messages.
+func (c *Counters) AddDiscovery(n int64) { atomic.AddInt64(&c.Discovery, n) }
+
+// AddMigrations atomically adds n migration messages.
+func (c *Counters) AddMigrations(n int64) { atomic.AddInt64(&c.Migrations, n) }
+
+// Snapshot returns an atomically-read copy of a live shared instance.
+func (c *Counters) Snapshot() Counters {
+	return Counters{
+		Probes:        atomic.LoadInt64(&c.Probes),
+		ProbeReturns:  atomic.LoadInt64(&c.ProbeReturns),
+		StateUpdates:  atomic.LoadInt64(&c.StateUpdates),
+		Aggregations:  atomic.LoadInt64(&c.Aggregations),
+		Confirmations: atomic.LoadInt64(&c.Confirmations),
+		Discovery:     atomic.LoadInt64(&c.Discovery),
+		Migrations:    atomic.LoadInt64(&c.Migrations),
+	}
+}
+
 // Total returns the sum of all message counters.
 func (c *Counters) Total() int64 {
-	return c.Probes + c.ProbeReturns + c.StateUpdates + c.Aggregations +
-		c.Confirmations + c.Discovery + c.Migrations
+	s := c.Snapshot()
+	return s.Probes + s.ProbeReturns + s.StateUpdates + s.Aggregations +
+		s.Confirmations + s.Discovery + s.Migrations
 }
 
 // ProbingTotal returns probe traffic only (sent plus returned), the
 // quantity reported for the RP baseline.
-func (c *Counters) ProbingTotal() int64 { return c.Probes + c.ProbeReturns }
+func (c *Counters) ProbingTotal() int64 {
+	return atomic.LoadInt64(&c.Probes) + atomic.LoadInt64(&c.ProbeReturns)
+}
 
 // Sub returns c - o field-wise; useful for measuring a window.
 func (c Counters) Sub(o Counters) Counters {

@@ -2,9 +2,45 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 )
+
+// TestCountersConcurrentAdds shares one instance across goroutines the
+// way dist node goroutines do; with -race this is the counter race test.
+func TestCountersConcurrentAdds(t *testing.T) {
+	var c Counters
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.AddProbes(1)
+				c.AddProbeReturns(1)
+				c.AddStateUpdates(1)
+				c.AddAggregations(1)
+				c.AddConfirmations(1)
+				c.AddDiscovery(1)
+				c.AddMigrations(1)
+				_ = c.ProbingTotal()
+				if i%200 == 0 {
+					_ = c.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Probes != workers*iters || s.Migrations != workers*iters {
+		t.Errorf("Snapshot = %+v, want %d per field", s, workers*iters)
+	}
+	if got := c.Total(); got != 7*workers*iters {
+		t.Errorf("Total = %d, want %d", got, 7*workers*iters)
+	}
+}
 
 func TestCountersTotalAndSub(t *testing.T) {
 	c := Counters{Probes: 10, ProbeReturns: 2, StateUpdates: 3, Aggregations: 4, Confirmations: 5, Discovery: 6, Migrations: 7}

@@ -1,0 +1,378 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventType names one probe-lifecycle transition.
+type EventType string
+
+// The probe-lifecycle event schema. A probe span opens with
+// EventProbeSpawned and closes with exactly one of EventProbeReturned,
+// EventProbeForwarded, EventProbeDropped, or EventCandidatePruned
+// carrying the same probe ID; every other event is request-scoped.
+const (
+	// EventRequestReceived marks the deputy accepting a composition
+	// request (§3.3 step 1).
+	EventRequestReceived EventType = "request.received"
+	// EventProbeSpawned marks one probe message sent to a candidate's
+	// host; it opens the probe's span.
+	EventProbeSpawned EventType = "probe.spawned"
+	// EventProbeForwarded closes a probe span whose per-hop checks passed
+	// and whose children were fanned out to the next graph position.
+	EventProbeForwarded EventType = "probe.forwarded"
+	// EventProbeReturned closes the span of a probe that completed the
+	// graph and travelled back to the deputy (§3.3 step 3).
+	EventProbeReturned EventType = "probe.returned"
+	// EventProbeDropped closes the span of a probe lost in transit
+	// (mailbox overflow, shutdown) rather than processed.
+	EventProbeDropped EventType = "probe.dropped"
+	// EventCandidatePruned records a candidate rejected either before a
+	// probe was sent (probe ID 0: coarse-state prefilter or ranking cut)
+	// or at the candidate's own node (probe ID set, closing that span).
+	EventCandidatePruned EventType = "candidate.pruned"
+	// EventHoldAcquired records a transient resource allocation placed at
+	// a node (§3.3 step 2).
+	EventHoldAcquired EventType = "hold.acquired"
+	// EventHoldReleased records transient allocations released (losing
+	// probes cancelled, or a failed request cleaned up). Node -1 means
+	// every node holding for the request.
+	EventHoldReleased EventType = "hold.released"
+	// EventDecided marks the deputy closing its collection window and
+	// picking a winner (reason "selected") or giving up ("no-composition").
+	EventDecided EventType = "request.decided"
+	// EventCommitted marks the winning composition's confirmation
+	// completing (§3.3 step 4).
+	EventCommitted EventType = "composition.committed"
+	// EventRolledBack marks a commit phase undone (nack, timeout, abort).
+	EventRolledBack EventType = "composition.rolledback"
+	// EventSessionReleased marks a committed session torn down.
+	EventSessionReleased EventType = "session.released"
+)
+
+// Reason classifies why a candidate was pruned, a probe dropped, or a
+// composition rolled back.
+type Reason string
+
+// The prune-reason taxonomy.
+const (
+	// ReasonQoS: accumulated QoS exceeded the requirement (Eq. 6).
+	ReasonQoS Reason = "qos"
+	// ReasonSecurity: the candidate's security level is below the
+	// request's minimum (§6).
+	ReasonSecurity Reason = "security"
+	// ReasonResources: node resources cannot cover the demand (Eq. 7).
+	ReasonResources Reason = "resources"
+	// ReasonBandwidth: a predecessor virtual link cannot carry the
+	// required bandwidth (Eq. 8).
+	ReasonBandwidth Reason = "bandwidth"
+	// ReasonRiskRank: cut by the §3.5 ranking on the risk function D
+	// (Eq. 9).
+	ReasonRiskRank Reason = "risk-rank"
+	// ReasonCongestionRank: survived the risk band but cut on the
+	// congestion function W (Eq. 10).
+	ReasonCongestionRank Reason = "congestion-rank"
+	// ReasonRandomRank: cut by RP's uniform random per-hop selection.
+	ReasonRandomRank Reason = "random-rank"
+	// ReasonHoldNode: the transient node allocation could not be placed.
+	ReasonHoldNode Reason = "hold-node"
+	// ReasonHoldLink: a transient link allocation could not be placed.
+	ReasonHoldLink Reason = "hold-link"
+	// ReasonBudget: the per-request probe budget was exhausted.
+	ReasonBudget Reason = "budget"
+	// ReasonMailbox: the destination node's mailbox was full.
+	ReasonMailbox Reason = "mailbox-full"
+	// ReasonShutdown: the cluster stopped with the probe still in flight.
+	ReasonShutdown Reason = "shutdown"
+	// ReasonNoComposition: no qualified composition survived to the
+	// deputy's decision.
+	ReasonNoComposition Reason = "no-composition"
+	// ReasonCommitNack: a node refused to confirm its allocation.
+	ReasonCommitNack Reason = "commit-nack"
+	// ReasonCommitTimeout: commit acknowledgements were overdue.
+	ReasonCommitTimeout Reason = "commit-timeout"
+	// ReasonAbort: the caller abandoned a successful outcome.
+	ReasonAbort Reason = "abort"
+	// ReasonInternal: a malformed message or graph (defensive paths).
+	ReasonInternal Reason = "internal"
+)
+
+// Event is one structured probe-lifecycle record.
+type Event struct {
+	// AtMicros is the emission time in microseconds on the tracer's
+	// clock (virtual time under the simulator, wall time in dist).
+	AtMicros int64 `json:"at"`
+	// Type is the lifecycle transition.
+	Type EventType `json:"type"`
+	// Req is the request ID every event is scoped to.
+	Req int64 `json:"req"`
+	// Probe is the probe span ID; 0 for request-scoped events and for
+	// prunes that happened before a probe was sent.
+	Probe int64 `json:"probe,omitempty"`
+	// Pos is the function-graph position being probed; -1 when not
+	// applicable.
+	Pos int `json:"pos"`
+	// Node is the overlay node the event happened at; -1 when not
+	// applicable (or "all nodes" for hold.released).
+	Node int `json:"node"`
+	// Reason qualifies prunes, drops, decisions, and rollbacks.
+	Reason Reason `json:"reason,omitempty"`
+	// Children is the fan-out size on probe.forwarded events.
+	Children int `json:"children,omitempty"`
+	// LatencyMs is the probe's accumulated travel time in milliseconds
+	// on spawn/return events.
+	LatencyMs float64 `json:"latencyMs,omitempty"`
+}
+
+// OpensSpan reports whether the event opens a probe span.
+func (e Event) OpensSpan() bool { return e.Type == EventProbeSpawned }
+
+// ClosesSpan reports whether the event closes a probe span.
+func (e Event) ClosesSpan() bool {
+	switch e.Type {
+	case EventProbeReturned, EventProbeForwarded, EventProbeDropped:
+		return true
+	case EventCandidatePruned:
+		return e.Probe != 0
+	}
+	return false
+}
+
+// LeakedSpans returns the IDs of probe spans that were opened but never
+// closed, in first-opened order — the invariant checked by the dist
+// integration tests ("no probe is silently lost").
+func LeakedSpans(events []Event) []int64 {
+	closed := make(map[int64]bool)
+	for _, e := range events {
+		if e.ClosesSpan() {
+			closed[e.Probe] = true
+		}
+	}
+	var leaked []int64
+	for _, e := range events {
+		if e.OpensSpan() && !closed[e.Probe] {
+			leaked = append(leaked, e.Probe)
+		}
+	}
+	return leaked
+}
+
+// Sink consumes emitted events. Implementations must be safe for
+// concurrent Emit calls.
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer emits probe-lifecycle events to a sink. The zero of usefulness
+// is the nil *Tracer: every method is a nil-safe no-op, so call sites
+// need no conditionals and the disabled hot path costs one pointer check.
+type Tracer struct {
+	sink     Sink
+	start    time.Time
+	now      func() time.Duration
+	probeSeq int64 // atomic
+}
+
+// New wires a tracer to a sink, stamping events with wall-clock time
+// since creation. Use SetClock to substitute virtual time.
+func New(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink, start: time.Now()}
+}
+
+// SetClock replaces the tracer's timestamp source (e.g. the simulator's
+// virtual clock). Call before emitting from multiple goroutines.
+func (t *Tracer) SetClock(now func() time.Duration) {
+	if t != nil {
+		t.now = now
+	}
+}
+
+// Enabled reports whether events are being recorded. Call sites use it
+// to skip building emission arguments that would need extra work.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+func (t *Tracer) emit(e Event) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	if t.now != nil {
+		e.AtMicros = t.now().Microseconds()
+	} else {
+		e.AtMicros = time.Since(t.start).Microseconds()
+	}
+	t.sink.Emit(e)
+}
+
+// NextProbeID allocates a tracer-unique probe span ID; 0 (the "no span"
+// ID) when the tracer is nil.
+func (t *Tracer) NextProbeID() int64 {
+	if t == nil {
+		return 0
+	}
+	return atomic.AddInt64(&t.probeSeq, 1)
+}
+
+// RequestReceived records the deputy accepting a request.
+func (t *Tracer) RequestReceived(req int64, node int) {
+	t.emit(Event{Type: EventRequestReceived, Req: req, Pos: -1, Node: node})
+}
+
+// ProbeSpawned opens a probe span: one probe message sent toward the
+// candidate for graph position pos hosted at node.
+func (t *Tracer) ProbeSpawned(req, probe int64, pos, node int, latencyMs float64) {
+	t.emit(Event{Type: EventProbeSpawned, Req: req, Probe: probe, Pos: pos, Node: node, LatencyMs: latencyMs})
+}
+
+// ProbeForwarded closes a probe span that passed its per-hop checks and
+// fanned out children child probes for the next position.
+func (t *Tracer) ProbeForwarded(req, probe int64, pos, node, children int) {
+	t.emit(Event{Type: EventProbeForwarded, Req: req, Probe: probe, Pos: pos, Node: node, Children: children})
+}
+
+// ProbeReturned closes the span of a probe whose complete composition
+// reached the deputy, with its full round-trip travel time.
+func (t *Tracer) ProbeReturned(req, probe int64, node int, latencyMs float64) {
+	t.emit(Event{Type: EventProbeReturned, Req: req, Probe: probe, Pos: -1, Node: node, LatencyMs: latencyMs})
+}
+
+// ProbeDropped closes the span of a probe lost in transit.
+func (t *Tracer) ProbeDropped(req, probe int64, pos, node int, reason Reason) {
+	t.emit(Event{Type: EventProbeDropped, Req: req, Probe: probe, Pos: pos, Node: node, Reason: reason})
+}
+
+// CandidatePruned records a rejected candidate. probe is 0 when the
+// prune happened before any probe was sent (coarse prefilter or ranking
+// cut); otherwise it closes that probe's span.
+func (t *Tracer) CandidatePruned(req, probe int64, pos, node int, reason Reason) {
+	t.emit(Event{Type: EventCandidatePruned, Req: req, Probe: probe, Pos: pos, Node: node, Reason: reason})
+}
+
+// HoldAcquired records a transient node allocation placed for (req, pos).
+func (t *Tracer) HoldAcquired(req, probe int64, pos, node int) {
+	t.emit(Event{Type: EventHoldAcquired, Req: req, Probe: probe, Pos: pos, Node: node})
+}
+
+// HoldReleased records the request's transient allocations released at
+// node, or everywhere when node is -1.
+func (t *Tracer) HoldReleased(req int64, node int) {
+	t.emit(Event{Type: EventHoldReleased, Req: req, Pos: -1, Node: node})
+}
+
+// Decided records the deputy's decision for the request: reason
+// ReasonNoComposition on failure, empty on success.
+func (t *Tracer) Decided(req int64, node int, reason Reason) {
+	t.emit(Event{Type: EventDecided, Req: req, Pos: -1, Node: node, Reason: reason})
+}
+
+// Committed records the composition's confirmation completing.
+func (t *Tracer) Committed(req int64, node int) {
+	t.emit(Event{Type: EventCommitted, Req: req, Pos: -1, Node: node})
+}
+
+// RolledBack records the commit phase (or a held outcome) undone.
+func (t *Tracer) RolledBack(req int64, node int, reason Reason) {
+	t.emit(Event{Type: EventRolledBack, Req: req, Pos: -1, Node: node, Reason: reason})
+}
+
+// SessionReleased records a committed session torn down.
+func (t *Tracer) SessionReleased(req int64) {
+	t.emit(Event{Type: EventSessionReleased, Req: req, Pos: -1, Node: -1})
+}
+
+// MemorySink collects events in memory for tests and in-process
+// analysis.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends one event.
+func (s *MemorySink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of everything collected so far.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Len returns the number of collected events.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// JSONLSink streams events as JSON lines. Emissions are serialized by a
+// mutex; the first write error is latched and surfaced by Flush.
+type JSONLSink struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	count int
+	err   error
+}
+
+// NewJSONLSink wraps w for event streaming; call Flush when done.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one event as a JSON line.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if s.err = s.enc.Encode(e); s.err == nil {
+		s.count++
+	}
+}
+
+// Count returns how many events were successfully encoded.
+func (s *JSONLSink) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Flush drains buffered output and reports the first error encountered.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// ReadEvents parses a JSONL event stream back into its event sequence.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

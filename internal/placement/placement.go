@@ -117,7 +117,7 @@ func (m *Manager) Rebalance() int {
 		if err := m.catalog.Move(id, cold); err != nil {
 			break
 		}
-		m.counters.Migrations += 2
+		m.counters.AddMigrations(2)
 		m.moves++
 		moved++
 	}

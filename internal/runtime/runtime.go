@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/discovery"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/qos"
 	"repro/internal/state"
@@ -84,6 +85,12 @@ type Config struct {
 	// function of (unit sequence, component), so runs are reproducible
 	// despite concurrency.
 	SimulateLoss bool
+	// Tracer, when non-nil, receives probe-lifecycle events from the
+	// composition engine. nil disables tracing.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, exposes control-plane instruments
+	// (find outcomes, active sessions, find latency). nil disables.
+	Registry *obs.Registry
 }
 
 // DefaultConfig returns a laptop-sized cluster: 64 stream nodes over a
@@ -126,6 +133,11 @@ type Cluster struct {
 	mesh     *overlay.Mesh
 	catalog  *component.Catalog
 	counters *metrics.Counters
+
+	finds          *obs.Counter
+	findFailures   *obs.Counter
+	activeSessions *obs.Gauge
+	findLatencyMs  *obs.Histogram
 
 	mu        sync.Mutex
 	ledger    *state.Ledger
@@ -185,6 +197,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		functions: make(map[component.FunctionID]ProcessorFunc),
 		sessions:  make(map[SessionID]*session),
 		start:     time.Now(),
+
+		finds:          cfg.Registry.Counter("runtime.finds"),
+		findFailures:   cfg.Registry.Counter("runtime.find_failures"),
+		activeSessions: cfg.Registry.Gauge("runtime.sessions.active"),
+		findLatencyMs:  cfg.Registry.Histogram("runtime.find.latency_ms", []float64{0.1, 0.5, 1, 5, 10, 50, 100}),
 	}
 	c.ledger = state.NewLedger(mesh, cfg.NodeCapacity, c.now)
 	global, err := state.NewGlobal(c.ledger, mesh, state.DefaultGlobalConfig(), c.counters)
@@ -200,6 +217,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Counters: c.counters,
 		Now:      c.now,
 		Rand:     rng,
+		Tracer:   cfg.Tracer,
 	}
 	ccfg := core.DefaultConfig()
 	if cfg.Algorithm != 0 {
@@ -290,7 +308,7 @@ func (c *Cluster) NumNodes() int { return c.mesh.NumNodes() }
 func (c *Cluster) Counters() metrics.Counters {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return *c.counters
+	return c.counters.Snapshot()
 }
 
 // Find invokes the optimal component composition algorithm for the
@@ -314,17 +332,23 @@ func (c *Cluster) Find(graph *component.Graph, qosReq qos.Vector, resReq []qos.R
 		Client:       c.rng.Intn(c.mesh.NumNodes()),
 		Duration:     time.Hour, // sessions live until Close
 	}
+	findStart := c.now()
+	c.finds.Inc()
 	outcome, err := c.composer.Probe(req)
+	c.findLatencyMs.Observe(float64(c.now()-findStart) / float64(time.Millisecond))
 	if err != nil {
+		c.findFailures.Inc()
 		return 0, err
 	}
 	if !outcome.Success() {
 		c.observeFind(false)
+		c.findFailures.Inc()
 		return 0, ErrNoComposition
 	}
 	if err := c.composer.Commit(outcome); err != nil {
 		c.composer.Abort(req.ID)
 		c.observeFind(false)
+		c.findFailures.Inc()
 		return 0, fmt.Errorf("runtime: commit: %w", err)
 	}
 	c.observeFind(true)
@@ -343,6 +367,7 @@ func (c *Cluster) Find(graph *component.Graph, qosReq qos.Vector, resReq []qos.R
 		perComp: make([]int64, graph.NumPositions()),
 		dropped: make([]int64, graph.NumPositions()),
 	}
+	c.activeSessions.Set(float64(len(c.sessions)))
 	return id, nil
 }
 
@@ -466,6 +491,7 @@ func (c *Cluster) Close(id SessionID) error {
 		return ErrUnknownSession
 	}
 	delete(c.sessions, id)
+	c.activeSessions.Set(float64(len(c.sessions)))
 	c.mu.Unlock()
 
 	if s.running {

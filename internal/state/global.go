@@ -94,7 +94,7 @@ func (g *Global) nodeChanged(node int) {
 	if exceeds(view.CPU, truth.CPU, capacity.CPU, g.cfg.UpdateThreshold) ||
 		exceeds(view.Memory, truth.Memory, capacity.Memory, g.cfg.UpdateThreshold) {
 		g.nodeView[node] = truth
-		g.counters.StateUpdates++
+		g.counters.AddStateUpdates(1)
 	}
 }
 
@@ -106,7 +106,7 @@ func (g *Global) linkChanged(link int) {
 	capacity := g.ledger.LinkCapacity(link)
 	if exceeds(g.linkView[link], truth, capacity, g.cfg.UpdateThreshold) {
 		g.linkView[link] = truth
-		g.counters.StateUpdates++
+		g.counters.AddStateUpdates(1)
 	}
 }
 
@@ -124,7 +124,7 @@ func exceeds(view, truth, max, threshold float64) bool {
 func (g *Global) Aggregate() {
 	copy(g.aggView, g.linkView)
 	g.aggNode = (g.aggNode + 1) % g.mesh.NumNodes()
-	g.counters.Aggregations += int64(g.mesh.NumNodes())
+	g.counters.AddAggregations(int64(g.mesh.NumNodes()))
 }
 
 // AggregationNode returns the node currently holding the aggregation role.
