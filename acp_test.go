@@ -81,8 +81,17 @@ func TestReproduceFigureUnknown(t *testing.T) {
 
 func TestFigureNames(t *testing.T) {
 	names := acp.FigureNames()
-	if len(names) != 10 {
+	if len(names) != 11 {
 		t.Errorf("FigureNames = %v", names)
+	}
+	found := false
+	for _, n := range names {
+		if n == "faults" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("FigureNames missing faults sweep: %v", names)
 	}
 }
 

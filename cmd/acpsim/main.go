@@ -8,6 +8,7 @@
 //	acpsim -alg ACP -rate 60 -tune -target 0.9
 //	acpsim -record run.trace && acpsim -replay run.trace
 //	acpsim -trace-out probes.jsonl -metrics-out counters.txt
+//	acpsim -dist -fault-drop 0.2 -fault-crashes 3 -requests 64
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/trace"
@@ -69,9 +71,21 @@ func run(args []string) error {
 		migrate  = fs.Bool("migrate", false, "enable dynamic component placement")
 		traceOut = fs.String("trace-out", "", "write probe-lifecycle span events (JSONL) to this file")
 		metrOut  = fs.String("metrics-out", "", "write an instrument snapshot (text) to this file")
+
+		distMode  = fs.Bool("dist", false, "run the goroutine-per-node distributed engine instead of the simulator")
+		requests  = fs.Int("requests", 48, "dist: number of requests in the batch")
+		retries   = fs.Int("retries", 3, "dist: per-request compose retry budget")
+		faultDrop = fs.Float64("fault-drop", 0, "dist: injected message-loss probability [0, 1]")
+		faultDup  = fs.Float64("fault-dup", 0, "dist: injected message-duplication probability [0, 1]")
+		faultLag  = fs.Duration("fault-delay", 0, "dist: max injected delivery delay (uniform jitter)")
+		faultCr   = fs.Int("fault-crashes", 0, "dist: number of scheduled node crashes")
+		faultDown = fs.Duration("fault-downtime", 200*time.Millisecond, "dist: how long each crashed node stays down")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *distMode {
+		return runDist(*seed, *nodes, *requests, *retries, *faultDrop, *faultDup, *faultLag, *faultCr, *faultDown)
 	}
 
 	alg, err := parseAlgorithm(*algName)
@@ -232,6 +246,46 @@ func run(args []string) error {
 		for _, p := range res.SuccessSeries {
 			fmt.Printf("  %6.1f  %6.2f  %.2f\n", p.At.Minutes(), 100*p.Value, ratio[p.At])
 		}
+	}
+	return nil
+}
+
+// runDist pushes a request batch through the distributed engine with
+// fault injection and reports degradation and recovery.
+func runDist(seed int64, nodes, requests, retries int, drop, dup float64,
+	maxDelay time.Duration, crashes int, downtime time.Duration) error {
+
+	cfg := experiment.DistFaultConfig{
+		Seed:         seed,
+		OverlayNodes: nodes,
+		Requests:     requests,
+		Retries:      retries,
+		DropProb:     drop,
+		DupProb:      dup,
+		MaxDelay:     maxDelay,
+	}
+	if crashes > 0 {
+		cfg.Crashes = faults.RandomCrashes(seed, nodes, crashes, 500*time.Millisecond, downtime)
+	}
+	start := time.Now()
+	res, err := experiment.DistFaultRun(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("engine           distributed (goroutine per node), N=%d\n", nodes)
+	fmt.Printf("faults           drop=%.0f%% dup=%.0f%% delay<=%v crashes=%d (down %v)\n",
+		100*drop, 100*dup, maxDelay, crashes, downtime)
+	fmt.Printf("requests         %d (%d retries each)\n", res.Requests, retries)
+	fmt.Printf("success rate     %.2f%%\n", 100*res.SuccessRate())
+	fmt.Printf("no composition   %d\n", res.Failed)
+	fmt.Printf("errors           %d\n", res.Errored)
+	fmt.Printf("injected         %d dropped, %d duplicated, %d delayed, %d crashes\n",
+		res.Dropped, res.Duplicated, res.Delayed, res.Crashes)
+	fmt.Printf("recovery         %d retries, %d holds swept, recovered=%v\n",
+		res.Retries, res.HoldsSwept, res.Recovered)
+	fmt.Printf("wall clock       %v\n", time.Since(start).Round(time.Millisecond))
+	if !res.Recovered {
+		return fmt.Errorf("cluster did not return to full capacity")
 	}
 	return nil
 }

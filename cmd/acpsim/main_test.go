@@ -193,3 +193,14 @@ func TestRunFailuresAndMigration(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunDistFaultMode(t *testing.T) {
+	args := []string{"-dist", "-nodes", "24", "-requests", "8",
+		"-fault-drop", "0.1", "-fault-crashes", "1"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dist", "-fault-drop", "2"}); err == nil {
+		t.Error("out-of-range drop probability accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// The exhaustive-search accounting clamps the per-position width at
+// 2^40 but lets the total keep growing, so the int64 → int narrowing
+// must clamp too: on 32-bit platforms a large total would otherwise
+// wrap negative in Outcome.ProbesSent.
+func TestClampToInt(t *testing.T) {
+	if got := clampToInt(12345); got != 12345 {
+		t.Errorf("clampToInt(12345) = %d", got)
+	}
+	if got := clampToInt(0); got != 0 {
+		t.Errorf("clampToInt(0) = %d", got)
+	}
+	// math.MaxInt64 exercises the clamp on 32-bit platforms and the
+	// exact boundary on 64-bit ones; either way the result is MaxInt.
+	if got := clampToInt(math.MaxInt64); got != math.MaxInt {
+		t.Errorf("clampToInt(MaxInt64) = %d, want MaxInt", got)
+	}
+	// A plausible overflowing total: 60 positions at the 2^40 width cap.
+	total := int64(60) * (1 << 40)
+	if got := clampToInt(total); got < 0 {
+		t.Errorf("clampToInt(%d) went negative: %d", total, got)
+	}
+}

@@ -111,7 +111,7 @@ func (c *Composer) probeWalk(req *component.Request) (*Outcome, error) {
 			total += width
 		}
 		c.env.Counters.AddProbes(total)
-		out.ProbesSent = int(total)
+		out.ProbesSent = clampToInt(total)
 	}
 
 	// Probes expand depth-first: a probe tree in the real protocol fans
@@ -640,4 +640,15 @@ func (c *Composer) probeDirect(req *component.Request) (*Outcome, error) {
 	out.Best = comp
 	tr.Decided(req.ID, req.Client, "")
 	return out, nil
+}
+
+// clampToInt narrows an int64 probe count to int without overflow. The
+// accounting loop above clamps the per-position width, not the running
+// total, so on 32-bit platforms the total can exceed MaxInt32 and a
+// plain conversion would wrap negative.
+func clampToInt(v int64) int {
+	if v > math.MaxInt {
+		return math.MaxInt
+	}
+	return int(v)
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/component"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/qos"
@@ -56,10 +57,34 @@ type Config struct {
 	CollectTimeout time.Duration
 	// HoldTTL is the transient allocation timeout (§3.3 step 2).
 	HoldTTL time.Duration
+	// CommitTimeout bounds how long a deputy waits for commit acks
+	// before rolling the request back. Zero means one second; negative
+	// is rejected.
+	CommitTimeout time.Duration
+	// SweepInterval is the period of each node's hold-expiry sweep, the
+	// recovery pass that frees transient allocations orphaned by lost
+	// messages. Zero means HoldTTL/4; negative disables the sweep
+	// (expired holds then free only on the next availability check).
+	SweepInterval time.Duration
+	// ComposeRetries is the deputy-side retry budget on
+	// ErrNoComposition: under transient loss a re-probe over shifted
+	// state often succeeds (§3.6). Zero (the default) retries nothing.
+	ComposeRetries int
+	// RetryBackoff is the wait before the first retry, doubling per
+	// attempt. Zero means 20ms; negative is rejected.
+	RetryBackoff time.Duration
+	// RetryAlphaStep widens the probing ratio by this much on each
+	// retry (capped at 1): failed attempts shift toward flooding.
+	RetryAlphaStep float64
 	// UpdateThreshold is the coarse global-state drift trigger (§3.2).
 	UpdateThreshold float64
 	// MailboxSize bounds each node's message queue.
 	MailboxSize int
+	// Faults, when non-nil, configures deterministic fault injection on
+	// every message send (drops, delays, duplication, node outages).
+	// nil — or a config that injects nothing — leaves the send path
+	// untouched apart from one nil check.
+	Faults *faults.Config
 	// Tracer, when non-nil, receives probe-lifecycle span events from
 	// every node goroutine (the Tracer is safe for concurrent emitters).
 	// nil disables tracing; the hot path then pays only a pointer check.
@@ -82,6 +107,9 @@ func DefaultConfig() Config {
 		ProbingRatio:      0.5,
 		CollectTimeout:    50 * time.Millisecond,
 		HoldTTL:           2 * time.Second,
+		CommitTimeout:     time.Second,
+		RetryBackoff:      20 * time.Millisecond,
+		RetryAlphaStep:    0.15,
 		UpdateThreshold:   0.10,
 		MailboxSize:       1024,
 	}
@@ -106,6 +134,15 @@ type instruments struct {
 	rollbacks     *obs.Counter
 	noComposition *obs.Counter
 	probeDelayMs  *obs.Histogram
+
+	faultDrops     *obs.Counter
+	faultDelays    *obs.Counter
+	faultDups      *obs.Counter
+	nodeCrashes    *obs.Counter
+	nodeRestarts   *obs.Counter
+	holdsSwept     *obs.Counter
+	composeRetries *obs.Counter
+	releasesLost   *obs.Counter
 }
 
 func newInstruments(r *obs.Registry) instruments {
@@ -117,37 +154,85 @@ func newInstruments(r *obs.Registry) instruments {
 		rollbacks:     r.Counter("dist.rollbacks"),
 		noComposition: r.Counter("dist.no_composition"),
 		probeDelayMs:  r.Histogram("dist.probe.delay_ms", []float64{1, 2, 5, 10, 25, 50, 100, 250}),
+
+		faultDrops:     r.Counter("dist.faults.dropped"),
+		faultDelays:    r.Counter("dist.faults.delayed"),
+		faultDups:      r.Counter("dist.faults.duplicated"),
+		nodeCrashes:    r.Counter("dist.node.crashes"),
+		nodeRestarts:   r.Counter("dist.node.restarts"),
+		holdsSwept:     r.Counter("dist.holds.swept"),
+		composeRetries: r.Counter("dist.compose.retries"),
+		releasesLost:   r.Counter("dist.releases.lost"),
 	}
 }
 
 // Cluster runs the distributed protocol.
 type Cluster struct {
-	cfg     Config
-	mesh    *overlay.Mesh
-	catalog *component.Catalog
-	nodes   []*node
-	links   *linkTable
-	tracer  *obs.Tracer
-	ins     instruments
+	cfg        Config
+	mesh       *overlay.Mesh
+	catalog    *component.Catalog
+	nodes      []*node
+	links      *linkTable
+	tracer     *obs.Tracer
+	ins        instruments
+	faults     *faults.Injector
+	sweepEvery time.Duration
 
 	mu      sync.Mutex
 	nextReq int64
 	closed  bool
 	done    chan struct{}
 	wg      sync.WaitGroup
+	timers  sync.WaitGroup // outstanding delayed-delivery timers
 }
 
 // New builds the substrate and starts one goroutine per overlay node.
 // Call Shutdown to stop them.
 func New(cfg Config) (*Cluster, error) {
+	c, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.start()
+	return c, nil
+}
+
+// build constructs the cluster without starting the node goroutines
+// (white-box tests drive dispatch directly on an unstarted cluster).
+func build(cfg Config) (*Cluster, error) {
 	if cfg.ProbingRatio <= 0 || cfg.ProbingRatio > 1 {
 		return nil, fmt.Errorf("dist: probing ratio %v out of (0, 1]", cfg.ProbingRatio)
 	}
 	if cfg.CollectTimeout <= 0 || cfg.HoldTTL <= 0 {
 		return nil, fmt.Errorf("dist: non-positive timeout")
 	}
+	if cfg.CommitTimeout < 0 {
+		return nil, fmt.Errorf("dist: negative commit timeout %v", cfg.CommitTimeout)
+	}
+	if cfg.CommitTimeout == 0 {
+		cfg.CommitTimeout = time.Second
+	}
+	if cfg.ComposeRetries < 0 {
+		return nil, fmt.Errorf("dist: negative retry budget %d", cfg.ComposeRetries)
+	}
+	if cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("dist: negative retry backoff %v", cfg.RetryBackoff)
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 20 * time.Millisecond
+	}
+	if cfg.RetryAlphaStep < 0 {
+		return nil, fmt.Errorf("dist: negative retry alpha step %v", cfg.RetryAlphaStep)
+	}
 	if cfg.MailboxSize < 16 {
 		cfg.MailboxSize = 16
+	}
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		var err error
+		if inj, err = faults.New(*cfg.Faults); err != nil {
+			return nil, err
+		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -179,12 +264,23 @@ func New(cfg Config) (*Cluster, error) {
 		links:   newLinkTable(mesh),
 		tracer:  cfg.Tracer,
 		ins:     newInstruments(cfg.Registry),
+		faults:  inj,
 		done:    make(chan struct{}),
+	}
+	switch {
+	case cfg.SweepInterval > 0:
+		c.sweepEvery = cfg.SweepInterval
+	case cfg.SweepInterval == 0:
+		c.sweepEvery = cfg.HoldTTL / 4
 	}
 	c.nodes = make([]*node, mesh.NumNodes())
 	for id := range c.nodes {
 		c.nodes[id] = newNode(c, id, rand.New(rand.NewSource(cfg.Seed*7919+int64(id))))
 	}
+	return c, nil
+}
+
+func (c *Cluster) start() {
 	for _, n := range c.nodes {
 		c.wg.Add(1)
 		go func(n *node) {
@@ -192,7 +288,108 @@ func New(cfg Config) (*Cluster, error) {
 			n.run()
 		}(n)
 	}
-	return c, nil
+}
+
+// deliver routes m into node to's mailbox, consulting the fault
+// injector first. The return value is what the *sender* should believe:
+// injected loss is silent (true — the network ate it), while a full
+// mailbox is an observable backpressure signal (false), exactly as with
+// a direct send. With no injector configured the cost over a direct
+// send is this one nil check.
+func (c *Cluster) deliver(to int, m message, kind faults.Kind) bool {
+	if c.faults == nil {
+		return c.nodes[to].send(m)
+	}
+	return c.deliverFaulty(to, m, kind)
+}
+
+func (c *Cluster) deliverFaulty(to int, m message, kind faults.Kind) bool {
+	if c.faults.Down(to) {
+		c.dropInjected(to, m, obs.ReasonNodeDown)
+		return true
+	}
+	a := c.faults.OnSend(kind)
+	if a.Drop {
+		c.dropInjected(to, m, obs.ReasonFaultInjected)
+		return true
+	}
+	if a.Duplicate {
+		c.ins.faultDups.Inc()
+		c.tracer.MsgDuplicated(reqOf(m), to)
+		c.nodes[to].send(m) // best-effort extra copy
+	}
+	if a.Delay > 0 {
+		c.ins.faultDelays.Inc()
+		c.tracer.MsgDelayed(reqOf(m), to, float64(a.Delay)/float64(time.Millisecond))
+		c.timers.Add(1)
+		time.AfterFunc(a.Delay, func() {
+			defer c.timers.Done()
+			if !c.nodes[to].send(m) {
+				c.dropInjected(to, m, obs.ReasonMailbox)
+			}
+		})
+		return true
+	}
+	return c.nodes[to].send(m)
+}
+
+// dropInjected loses a message, keeping the observability invariants: a
+// dropped probe still closes its span and counts as a dropped probe.
+func (c *Cluster) dropInjected(to int, m message, reason obs.Reason) {
+	c.ins.faultDrops.Inc()
+	if pm, ok := m.(probeMsg); ok {
+		c.tracer.ProbeDropped(pm.req.ID, pm.probe, pm.idx, to, reason)
+		c.ins.probesDropped.Inc()
+		return
+	}
+	c.tracer.MsgDropped(reqOf(m), to, reason)
+}
+
+// reqOf extracts the request identity a message is scoped to (0 when it
+// has none, e.g. state broadcasts).
+func reqOf(m message) int64 {
+	switch msg := m.(type) {
+	case composeMsg:
+		return msg.req.ID
+	case probeMsg:
+		return msg.req.ID
+	case returnMsg:
+		return msg.reqID
+	case commitMsg:
+		return msg.reqID
+	case commitAckMsg:
+		return msg.reqID
+	case releaseMsg:
+		return msg.owner
+	}
+	return 0
+}
+
+// sendRelease delivers a session-teardown message. Teardown rides a
+// reliable control channel — it is exempt from fault injection, because
+// a lost release would leak committed resources forever (there is no
+// lease on commits) — and a momentarily full mailbox is retried with
+// backoff instead of dropped.
+func (c *Cluster) sendRelease(to int, owner int64) {
+	c.trySendRelease(to, owner, 0)
+}
+
+const (
+	releaseRetries = 6
+	releaseBackoff = 5 * time.Millisecond
+)
+
+func (c *Cluster) trySendRelease(to int, owner int64, attempt int) {
+	if c.nodes[to].send(releaseMsg{owner: owner}) {
+		return
+	}
+	if attempt >= releaseRetries {
+		c.ins.releasesLost.Inc()
+		return
+	}
+	time.AfterFunc(releaseBackoff<<attempt, func() {
+		c.trySendRelease(to, owner, attempt+1)
+	})
 }
 
 // NumNodes returns the overlay size.
@@ -210,29 +407,53 @@ func (c *Cluster) Compose(req *component.Request) (*Composition, error) {
 	if req.Client < 0 || req.Client >= len(c.nodes) {
 		return nil, fmt.Errorf("dist: client %d out of range", req.Client)
 	}
+	alpha := c.cfg.ProbingRatio
+	for attempt := 0; ; attempt++ {
+		comp, reqID, err := c.composeOnce(req, alpha)
+		if err == nil || !errors.Is(err, ErrNoComposition) || attempt >= c.cfg.ComposeRetries {
+			return comp, err
+		}
+		// A failed attempt under transient loss or contention is worth
+		// retrying with the probing widened (§3.6): the holds of the
+		// failed round decay, state shifts, and a larger alpha probes
+		// more of the candidate space.
+		c.tracer.ComposeRetried(reqID, req.Client, attempt+1)
+		c.ins.composeRetries.Inc()
+		alpha = math.Min(1, alpha+c.cfg.RetryAlphaStep)
+		select {
+		case <-time.After(c.cfg.RetryBackoff << attempt):
+		case <-c.done:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// composeOnce runs one protocol round under the given probing ratio.
+func (c *Cluster) composeOnce(req *component.Request, alpha float64) (*Composition, int64, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	c.nextReq++
 	reqID := c.nextReq
 	c.mu.Unlock()
 
 	// Private request copy with a cluster-unique ID: transient holds and
-	// session records key on it.
+	// session records key on it. Each retry gets a fresh identity so
+	// stale holds of a failed attempt cannot satisfy the new one.
 	r := *req
 	r.ID = reqID
 
 	reply := make(chan composeReply, 1)
-	if !c.nodes[r.Client].send(composeMsg{req: &r, reply: reply}) {
-		return nil, fmt.Errorf("dist: deputy node %d mailbox overloaded", r.Client)
+	if !c.nodes[r.Client].send(composeMsg{req: &r, reply: reply, alpha: alpha}) {
+		return nil, reqID, fmt.Errorf("dist: deputy node %d mailbox overloaded", r.Client)
 	}
 	select {
 	case out := <-reply:
-		return out.comp, out.err
+		return out.comp, reqID, out.err
 	case <-c.done:
-		return nil, ErrClosed
+		return nil, reqID, ErrClosed
 	}
 }
 
@@ -244,8 +465,8 @@ func (c *Cluster) Release(req *component.Request, comp *Composition) {
 		return
 	}
 	demands := c.demandsOf(req, comp.Components)
-	for nodeID, amount := range demands.nodes {
-		c.nodes[nodeID].send(releaseMsg{owner: comp.owner, amount: amount})
+	for nodeID := range demands.nodes {
+		c.sendRelease(nodeID, comp.owner)
 	}
 	c.links.release(demands.links)
 	c.tracer.SessionReleased(comp.owner)
@@ -265,7 +486,55 @@ func (c *Cluster) Shutdown() {
 		close(n.quit)
 	}
 	c.wg.Wait()
+	// Let in-flight delayed deliveries land (in dead mailboxes) before
+	// the drain below closes their spans.
+	c.timers.Wait()
 	c.drainMailboxes()
+}
+
+// Idle reports whether every node ledger and every link has returned to
+// full capacity with no live holds — the steady state after all
+// sessions are released. Answered from the nodes' own precise state via
+// inspect messages (a reliable monitoring hook, exempt from fault
+// injection and answered even during an outage).
+func (c *Cluster) Idle() bool {
+	for _, n := range c.nodes {
+		reply := make(chan qos.Resources, 1)
+		n.sendBlocking(inspectMsg{reply: reply})
+		select {
+		case avail := <-reply:
+			if avail != c.cfg.NodeCapacity {
+				return false
+			}
+		case <-c.done:
+			return false
+		}
+	}
+	for i := range c.links.capacity {
+		c.links.mu[i].Lock()
+		full := c.links.available[i] == c.links.capacity[i]
+		c.links.mu[i].Unlock()
+		if !full {
+			return false
+		}
+	}
+	return true
+}
+
+// AwaitIdle polls Idle until it holds or the timeout elapses — holds
+// orphaned by injected loss take up to HoldTTL (plus a sweep period) to
+// decay.
+func (c *Cluster) AwaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.Idle() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // drainMailboxes closes the span of every probe still queued when the

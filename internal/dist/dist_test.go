@@ -131,40 +131,12 @@ func TestComposeReleaseConservation(t *testing.T) {
 	// capacity (releases are async; allow them to drain).
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if c.fullyIdle() {
+		if c.Idle() {
 			return
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Error("capacity did not return to full after compose/release churn")
-}
-
-// fullyIdle reports whether every node and link is back at capacity.
-// Test helper: it peeks at node state via messages to avoid races.
-func (c *Cluster) fullyIdle() bool {
-	for _, n := range c.nodes {
-		ch := make(chan qos.Resources, 1)
-		if !n.send(inspectMsg{reply: ch}) {
-			return false
-		}
-		select {
-		case avail := <-ch:
-			if avail != c.cfg.NodeCapacity {
-				return false
-			}
-		case <-time.After(time.Second):
-			return false
-		}
-	}
-	for i := range c.links.capacity {
-		c.links.mu[i].Lock()
-		ok := c.links.available[i] == c.links.capacity[i]
-		c.links.mu[i].Unlock()
-		if !ok {
-			return false
-		}
-	}
-	return true
 }
 
 func TestConcurrentCompose(t *testing.T) {
@@ -320,7 +292,7 @@ func TestSustainedChurnConservation(t *testing.T) {
 	wg.Wait()
 	deadline := time.Now().Add(8 * time.Second)
 	for time.Now().Before(deadline) {
-		if c.fullyIdle() {
+		if c.Idle() {
 			return
 		}
 		time.Sleep(25 * time.Millisecond)
@@ -412,7 +384,7 @@ func TestHoldsExpire(t *testing.T) {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if c.fullyIdle() {
+		if c.Idle() {
 			return
 		}
 		time.Sleep(25 * time.Millisecond)

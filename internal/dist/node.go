@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/component"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/qos"
 )
@@ -15,9 +16,11 @@ import (
 type message interface{}
 
 // composeMsg asks a node to act as deputy for a request (§3.3 step 1).
+// alpha is the probing ratio for this attempt; retries widen it (§3.6).
 type composeMsg struct {
 	req   *component.Request
 	reply chan composeReply
+	alpha float64
 }
 
 type composeReply struct {
@@ -37,6 +40,7 @@ type probeMsg struct {
 	assign []component.ComponentID // positions order[0..idx-1] filled
 	acc    qos.Vector
 	avails []qos.Resources // availability observed at each assigned node
+	alpha  float64         // probing ratio of this attempt
 }
 
 // returnMsg carries a complete probed composition back to the deputy
@@ -69,10 +73,12 @@ type commitAckMsg struct {
 // commitTimeoutMsg fires when commit acks are overdue.
 type commitTimeoutMsg struct{ reqID int64 }
 
-// releaseMsg frees committed resources (session close or rollback).
+// releaseMsg frees the owner's committed allocation (session close or
+// rollback). The node knows the committed amount from its own ledger,
+// which makes release idempotent: a duplicate or speculative release
+// (rollback toward a participant that never committed) is a no-op.
 type releaseMsg struct {
-	owner  int64
-	amount qos.Resources
+	owner int64
 }
 
 // stateMsg is a coarse global-state update broadcast (§3.2).
@@ -100,13 +106,13 @@ type pendingCompose struct {
 	req     *component.Request
 	order   []int
 	reply   chan composeReply
+	alpha   float64
 	returns []returnMsg
 	decided bool
 
 	// commit phase
 	comp       *Composition
 	needAcks   map[int]bool // node -> acked
-	ackedNodes map[int]qos.Resources
 	nodeDemand map[int]qos.Resources
 	linkDemand map[int]float64
 }
@@ -125,21 +131,26 @@ type node struct {
 	committed    qos.Resources
 	heldTotal    qos.Resources
 	holds        map[holdKey]hold
+	commits      map[int64]qos.Resources // owner -> committed amount
+	released     map[int64]time.Time     // release-before-commit tombstones
 	view         []qos.Resources
 	lastReported qos.Resources
 	pending      map[int64]*pendingCompose
+	down         bool // inside a scheduled outage
 }
 
 func newNode(c *Cluster, id int, rng *rand.Rand) *node {
 	n := &node{
-		c:       c,
-		id:      id,
-		mailbox: make(chan message, c.cfg.MailboxSize),
-		quit:    make(chan struct{}),
-		rng:     rng,
-		holds:   make(map[holdKey]hold),
-		view:    make([]qos.Resources, c.mesh.NumNodes()),
-		pending: make(map[int64]*pendingCompose),
+		c:        c,
+		id:       id,
+		mailbox:  make(chan message, c.cfg.MailboxSize),
+		quit:     make(chan struct{}),
+		rng:      rng,
+		holds:    make(map[holdKey]hold),
+		commits:  make(map[int64]qos.Resources),
+		released: make(map[int64]time.Time),
+		view:     make([]qos.Resources, c.mesh.NumNodes()),
+		pending:  make(map[int64]*pendingCompose),
 	}
 	n.capacity = c.cfg.NodeCapacity
 	n.lastReported = n.capacity
@@ -172,17 +183,105 @@ func (n *node) sendBlocking(m message) {
 }
 
 func (n *node) run() {
+	var sweepC <-chan time.Time
+	if n.c.sweepEvery > 0 {
+		ticker := time.NewTicker(n.c.sweepEvery)
+		defer ticker.Stop()
+		sweepC = ticker.C
+	}
 	for {
 		select {
 		case <-n.quit:
 			return
 		case m := <-n.mailbox:
+			n.checkCrash()
 			n.dispatch(m)
+		case <-sweepC:
+			n.checkCrash()
+			n.sweep()
 		}
 	}
 }
 
+// sweep is the periodic hold-expiry pass: transient allocations
+// orphaned by lost probes (or lost commit traffic) free their resources
+// at TTL instead of lingering until the next on-demand availability
+// check. It also ages out release-before-commit tombstones.
+func (n *node) sweep() {
+	if expired := n.purgeHolds(); expired > 0 {
+		n.c.tracer.HoldSwept(n.id, expired)
+		n.c.ins.holdsSwept.Add(int64(expired))
+	}
+	if len(n.released) > 0 {
+		now := time.Now()
+		for owner, exp := range n.released {
+			if !exp.After(now) {
+				delete(n.released, owner)
+			}
+		}
+	}
+}
+
+// checkCrash applies the injector's outage schedule: on the down
+// transition volatile state is lost, on the up transition the node
+// rejoins and re-announces itself.
+func (n *node) checkCrash() {
+	if n.c.faults == nil {
+		return
+	}
+	down := n.c.faults.Down(n.id)
+	if down == n.down {
+		return
+	}
+	n.down = down
+	if down {
+		n.crash()
+	} else {
+		n.restart()
+	}
+}
+
+// crash models the outage taking the protocol engine down: transient
+// holds and deputy-side bookkeeping are in-memory and vanish; the
+// committed ledger is modeled as durable (it survives restart), so
+// session teardown still balances. Every in-flight request this node
+// deputies is failed: mid-commit ones roll back (releasing every
+// participant, who refuse any still-in-flight commit via tombstones),
+// collecting ones are answered with a clean failure so the caller can
+// retry instead of hanging.
+func (n *node) crash() {
+	n.c.tracer.NodeCrashed(n.id)
+	n.c.ins.nodeCrashes.Inc()
+	n.holds = make(map[holdKey]hold)
+	n.heldTotal = qos.Resources{}
+	for reqID, p := range n.pending {
+		if p.comp != nil {
+			n.rollback(p, reqID, obs.ReasonNodeCrash)
+			continue
+		}
+		delete(n.pending, reqID)
+		n.c.tracer.Decided(reqID, n.id, obs.ReasonNodeDown)
+		n.c.ins.noComposition.Inc()
+		p.reply <- composeReply{err: ErrNoComposition}
+	}
+}
+
+// restart brings the node back: views may be stale (they refresh from
+// broadcasts) and the fresh availability is re-announced.
+func (n *node) restart() {
+	n.c.tracer.NodeRestarted(n.id)
+	n.c.ins.nodeRestarts.Inc()
+	// Force the next broadcast check to fire by invalidating what peers
+	// last heard from us.
+	n.lastReported = qos.Resources{CPU: math.Inf(1), Memory: math.Inf(1)}
+	n.maybeBroadcast()
+}
+
 func (n *node) dispatch(m message) {
+	if n.down {
+		n.dispatchDown(m)
+		return
+	}
 	switch msg := m.(type) {
 	case composeMsg:
 		n.onCompose(msg)
@@ -207,6 +306,27 @@ func (n *node) dispatch(m message) {
 	}
 }
 
+// dispatchDown handles traffic arriving during an outage: the protocol
+// engine is down — probes and commit traffic are lost, compose requests
+// are refused so callers fail fast (and may retry) — while the durable
+// local ledger still applies releases and the monitoring inspect hook
+// still answers.
+func (n *node) dispatchDown(m message) {
+	switch msg := m.(type) {
+	case composeMsg:
+		msg.reply <- composeReply{err: ErrNoComposition}
+	case probeMsg:
+		n.c.tracer.ProbeDropped(msg.req.ID, msg.probe, msg.idx, n.id, obs.ReasonNodeDown)
+		n.c.ins.probesDropped.Inc()
+	case releaseMsg:
+		n.onRelease(msg)
+	case inspectMsg:
+		msg.reply <- n.available()
+	default:
+		// return/commit/ack/timeout/state traffic dies with the engine.
+	}
+}
+
 // available returns this node's precise local availability.
 func (n *node) available() qos.Resources {
 	n.purgeHolds()
@@ -225,18 +345,23 @@ func (n *node) availableFor(owner int64) qos.Resources {
 	return avail
 }
 
-func (n *node) purgeHolds() {
+// purgeHolds drops expired transient allocations, returning how many
+// were expired.
+func (n *node) purgeHolds() int {
 	if len(n.holds) == 0 {
-		return
+		return 0
 	}
 	now := time.Now()
+	expired := 0
 	for key, h := range n.holds {
 		if !h.expires.After(now) {
 			n.heldTotal = n.heldTotal.Sub(h.amount)
 			delete(n.holds, key)
 			n.c.tracer.HoldReleased(key.owner, n.id)
+			expired++
 		}
 	}
+	return expired
 }
 
 // holdFor places the transient allocation for (owner, pos); idempotent
@@ -285,7 +410,7 @@ func (n *node) maybeBroadcast() {
 			peer.view[n.id] = avail
 			continue
 		}
-		peer.send(msg) // drops are tolerated: the view stays stale
+		n.c.deliver(peer.id, msg, faults.KindState) // drops are tolerated: the view stays stale
 	}
 }
 
@@ -296,13 +421,17 @@ func (n *node) onCompose(msg composeMsg) {
 		msg.reply <- composeReply{err: err}
 		return
 	}
+	alpha := msg.alpha
+	if alpha <= 0 {
+		alpha = n.c.cfg.ProbingRatio
+	}
 	n.c.tracer.RequestReceived(msg.req.ID, n.id)
-	p := &pendingCompose{req: msg.req, order: order, reply: msg.reply}
+	p := &pendingCompose{req: msg.req, order: order, reply: msg.reply, alpha: alpha}
 	n.pending[msg.req.ID] = p
 
 	sent := n.fanOut(msg.req, order, 0,
 		make([]component.ComponentID, msg.req.Graph.NumPositions()),
-		qos.Vector{}, nil)
+		qos.Vector{}, nil, alpha)
 	if sent == 0 {
 		delete(n.pending, msg.req.ID)
 		n.c.tracer.Decided(msg.req.ID, n.id, obs.ReasonNoComposition)
@@ -319,9 +448,10 @@ func (n *node) onCompose(msg composeMsg) {
 // fanOut selects candidates for position order[idx] and sends one probe
 // to each chosen candidate's host, returning how many were sent.
 func (n *node) fanOut(req *component.Request, order []int, idx int,
-	assign []component.ComponentID, acc qos.Vector, avails []qos.Resources) int {
+	assign []component.ComponentID, acc qos.Vector, avails []qos.Resources,
+	alpha float64) int {
 
-	selected := n.selectCandidates(req, order, idx, assign, acc)
+	selected := n.selectCandidates(req, order, idx, assign, acc, alpha)
 	tr := n.c.tracer
 	sent := 0
 	for _, id := range selected {
@@ -340,8 +470,9 @@ func (n *node) fanOut(req *component.Request, order []int, idx int,
 			assign: append([]component.ComponentID(nil), assign...),
 			acc:    acc,
 			avails: append([]qos.Resources(nil), avails...),
+			alpha:  alpha,
 		}
-		if n.c.nodes[host].send(msg) {
+		if n.c.deliver(host, msg, faults.KindProbe) {
 			sent++
 			n.c.ins.probesSent.Inc()
 		} else {
@@ -356,14 +487,14 @@ func (n *node) fanOut(req *component.Request, order []int, idx int,
 // the QoS risk bound and the view's resource/bandwidth states, rank by
 // risk then congestion, and keep ceil(alpha*k).
 func (n *node) selectCandidates(req *component.Request, order []int, idx int,
-	assign []component.ComponentID, acc qos.Vector) []component.ComponentID {
+	assign []component.ComponentID, acc qos.Vector, alpha float64) []component.ComponentID {
 
 	pos := order[idx]
 	candidates := n.c.catalog.Candidates(req.Graph.Functions[pos])
 	if len(candidates) == 0 {
 		return nil
 	}
-	m := int(math.Ceil(n.c.cfg.ProbingRatio * float64(len(candidates))))
+	m := int(math.Ceil(alpha * float64(len(candidates))))
 	if m < 1 {
 		m = 1
 	}
@@ -498,12 +629,12 @@ func (n *node) onProbe(msg probeMsg) {
 	avails := append(append([]qos.Resources(nil), msg.avails...), n.available())
 
 	if msg.idx == len(order)-1 {
-		if n.c.nodes[msg.deputy].send(returnMsg{
+		if n.c.deliver(msg.deputy, returnMsg{
 			reqID:  req.ID,
 			assign: assign,
 			acc:    acc,
 			avails: avails,
-		}) {
+		}, faults.KindProbe) {
 			tr.ProbeReturned(req.ID, msg.probe, n.id, acc.Delay)
 			n.c.ins.probeReturns.Inc()
 			n.c.ins.probeDelayMs.Observe(acc.Delay)
@@ -513,7 +644,7 @@ func (n *node) onProbe(msg probeMsg) {
 		}
 		return
 	}
-	children := n.fanOut(req, order, msg.idx+1, assign, acc, avails)
+	children := n.fanOut(req, order, msg.idx+1, assign, acc, avails, msg.alpha)
 	tr.ProbeForwarded(req.ID, msg.probe, gpos, n.id, children)
 }
 
@@ -570,22 +701,39 @@ func (n *node) onDecide(reqID int64) {
 	p.linkDemand = bestDem.links
 	p.nodeDemand = bestDem.nodes
 	p.needAcks = make(map[int]bool, len(bestDem.nodes))
-	p.ackedNodes = make(map[int]qos.Resources, len(bestDem.nodes))
 	for nodeID := range bestDem.nodes {
 		p.needAcks[nodeID] = false
 	}
-	for nodeID, amount := range bestDem.nodes {
+	n.startCommit(reqID, p)
+}
+
+// startCommit sends the per-node confirmations of the decided
+// composition and arms the commit-ack timeout.
+func (n *node) startCommit(reqID int64, p *pendingCompose) {
+	for nodeID, amount := range p.nodeDemand {
+		if _, live := n.pending[reqID]; !live {
+			// An inline nack already rolled the commit back; every
+			// participant (including the unsent ones) has been released
+			// and late commits are refused by tombstones. Stop here.
+			return
+		}
 		msg := commitMsg{owner: reqID, amount: amount, deputy: n.id, reqID: reqID}
 		if nodeID == n.id {
 			n.onCommit(msg) // local commit without a mailbox round trip
 			continue
 		}
-		if !n.c.nodes[nodeID].send(msg) {
-			// Treat an overloaded peer as a nack.
-			n.send(commitAckMsg{reqID: reqID, node: nodeID, ok: false})
+		if !n.c.deliver(nodeID, msg, faults.KindProtocol) {
+			// The peer's mailbox is full: record the nack inline. The old
+			// path bounced a commitAckMsg off our own mailbox, where it
+			// could itself be lost to overflow and stall the request
+			// until the commit timeout.
+			n.onCommitAck(commitAckMsg{reqID: reqID, node: nodeID, ok: false})
 		}
 	}
-	time.AfterFunc(time.Second, func() {
+	if _, live := n.pending[reqID]; !live {
+		return // resolved inline (single-node commit or rolled back)
+	}
+	time.AfterFunc(n.c.cfg.CommitTimeout, func() {
 		n.sendBlocking(commitTimeoutMsg{reqID: reqID})
 	})
 }
@@ -649,19 +797,27 @@ func (n *node) evaluateReturn(req *component.Request, ret returnMsg) (*Compositi
 
 // onCommit promotes the owner's transient holds into a committed
 // allocation, or rejects if the resources are no longer there.
+// Idempotent under duplicated delivery: a repeated commit re-acks
+// without double-committing, and a commit arriving after the request
+// was already released (rollback raced ahead) is refused.
 func (n *node) onCommit(msg commitMsg) {
 	n.releaseHolds(msg.owner)
-	ok := n.available().Covers(msg.amount)
-	if ok {
+	ack := commitAckMsg{reqID: msg.reqID, node: n.id}
+	if _, dup := n.commits[msg.owner]; dup {
+		ack.ok = true
+	} else if _, dead := n.released[msg.owner]; dead {
+		ack.ok = false
+	} else if n.available().Covers(msg.amount) {
+		n.commits[msg.owner] = msg.amount
 		n.committed = n.committed.Add(msg.amount)
+		ack.ok = true
 		n.maybeBroadcast()
 	}
-	ack := commitAckMsg{reqID: msg.reqID, node: n.id, ok: ok}
 	if msg.deputy == n.id {
 		n.onCommitAck(ack)
 		return
 	}
-	n.c.nodes[msg.deputy].send(ack)
+	n.c.deliver(msg.deputy, ack, faults.KindProtocol)
 }
 
 // onCommitAck gathers commit outcomes; all-acked resolves the request,
@@ -676,7 +832,6 @@ func (n *node) onCommitAck(msg commitAckMsg) {
 		return
 	}
 	p.needAcks[msg.node] = true
-	p.ackedNodes[msg.node] = p.nodeDemand[msg.node]
 	for _, acked := range p.needAcks {
 		if !acked {
 			return
@@ -697,32 +852,46 @@ func (n *node) onCommitTimeout(reqID int64) {
 	n.rollback(p, reqID, obs.ReasonCommitTimeout)
 }
 
-// rollback releases whatever the commit phase already acquired and
-// reports failure.
+// rollback releases whatever the commit phase may have acquired and
+// reports failure. It releases every participant the commit targeted —
+// not only the acked ones — because a participant whose ack was lost
+// (or whose commit is still in flight) has, or will, commit; releases
+// are idempotent (the node's own ledger knows what the owner holds) and
+// a release racing ahead of its commit leaves a tombstone that refuses
+// the late commit.
 func (n *node) rollback(p *pendingCompose, reqID int64, reason obs.Reason) {
 	delete(n.pending, reqID)
 	n.c.tracer.RolledBack(reqID, n.id, reason)
 	n.c.ins.rollbacks.Inc()
 	n.c.links.release(p.linkDemand)
-	for nodeID, amount := range p.ackedNodes {
+	for nodeID := range p.nodeDemand {
 		if nodeID == n.id {
-			n.onRelease(releaseMsg{owner: reqID, amount: amount})
+			n.onRelease(releaseMsg{owner: reqID})
 			continue
 		}
-		n.c.nodes[nodeID].send(releaseMsg{owner: reqID, amount: amount})
+		n.c.sendRelease(nodeID, reqID)
 	}
 	p.reply <- composeReply{err: ErrNoComposition}
 }
 
-// onRelease returns committed resources (session close or rollback).
+// onRelease returns the owner's committed resources (session close or
+// rollback). Only what this node's ledger recorded for the owner is
+// released, which makes duplicates and speculative rollback releases
+// no-ops. Every release leaves a TTL-bounded tombstone: request IDs are
+// never reused, so any commit for this owner that is still in flight —
+// a rollback racing ahead of its own commit, or a duplicated commit
+// arriving after the session already closed — is stale and must be
+// refused instead of leaking a committed allocation. The tombstone TTL
+// (HoldTTL) bounds how long a stale commit can stay in flight, which
+// injected delivery delays must stay under.
 func (n *node) onRelease(msg releaseMsg) {
 	n.releaseHolds(msg.owner)
-	n.committed = n.committed.Sub(msg.amount)
-	if n.committed.CPU < 0 {
-		n.committed.CPU = 0
+	n.released[msg.owner] = time.Now().Add(n.c.cfg.HoldTTL)
+	amount, ok := n.commits[msg.owner]
+	if !ok {
+		return
 	}
-	if n.committed.Memory < 0 {
-		n.committed.Memory = 0
-	}
+	delete(n.commits, msg.owner)
+	n.committed = n.committed.Sub(amount)
 	n.maybeBroadcast()
 }

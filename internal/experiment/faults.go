@@ -1,0 +1,219 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/dist"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/qos"
+)
+
+// DistFaultConfig parameterises one run of the distributed engine under
+// injected faults: a fixed batch of requests pushed through a lossy
+// cluster, measuring how gracefully the protocol degrades.
+type DistFaultConfig struct {
+	// Seed drives the substrate, the request mix, and the injector.
+	Seed int64
+	// OverlayNodes sizes the cluster (default 32).
+	OverlayNodes int
+	// Requests is the batch size (default 48); Workers the concurrency
+	// (default 8).
+	Requests int
+	Workers  int
+	// DropProb, DupProb, MaxDelay, Crashes configure the injector (see
+	// faults.Config).
+	DropProb float64
+	DupProb  float64
+	MaxDelay time.Duration
+	Crashes  []faults.Crash
+	// Retries is the deputy-side retry budget per request (default 3).
+	Retries int
+}
+
+func (c DistFaultConfig) normalize() DistFaultConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.OverlayNodes == 0 {
+		c.OverlayNodes = 32
+	}
+	if c.Requests == 0 {
+		c.Requests = 48
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	return c
+}
+
+// DistFaultResult is the outcome of one fault-injected batch.
+type DistFaultResult struct {
+	Requests  int
+	Succeeded int
+	// Failed counts clean ErrNoComposition outcomes; Errored counts
+	// anything else (must be zero — every request completes).
+	Failed  int
+	Errored int
+	// Injector and recovery activity, from the cluster's registry.
+	Dropped    int64
+	Duplicated int64
+	Delayed    int64
+	Crashes    int64
+	Retries    int64
+	HoldsSwept int64
+	// Recovered reports whether every node and link returned to full
+	// capacity after all sessions were released — no leaked holds or
+	// commits.
+	Recovered bool
+}
+
+// SuccessRate is the fraction of requests that composed successfully.
+func (r *DistFaultResult) SuccessRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Succeeded) / float64(r.Requests)
+}
+
+// distFaultRequest builds the Figure-6-style workload unit used by the
+// dist engine tests: a three-function path with moderate demands.
+func distFaultRequest(client int) *component.Request {
+	return &component.Request{
+		Graph:        component.NewPathGraph([]component.FunctionID{0, 1, 2}),
+		QoSReq:       qos.Vector{Delay: 100000, LossCost: qos.LossCost(0.9)},
+		ResReq:       []qos.Resources{{CPU: 8, Memory: 80}, {CPU: 8, Memory: 80}, {CPU: 8, Memory: 80}},
+		BandwidthReq: 100,
+		Client:       client,
+		Duration:     5 * time.Minute,
+	}
+}
+
+// DistFaultRun pushes one batch of requests through a fault-injected
+// distributed cluster and reports the degradation and recovery metrics.
+func DistFaultRun(cfg DistFaultConfig) (*DistFaultResult, error) {
+	cfg = cfg.normalize()
+	reg := obs.NewRegistry()
+	dcfg := dist.DefaultConfig()
+	dcfg.Seed = cfg.Seed
+	dcfg.OverlayNodes = cfg.OverlayNodes
+	if dcfg.IPNodes < 8*cfg.OverlayNodes {
+		// Keep the default overlay density when the caller asks for a
+		// bigger cluster than the stock 32-on-256 sizing.
+		dcfg.IPNodes = 8 * cfg.OverlayNodes
+	}
+	if dcfg.MailboxSize < 32*cfg.OverlayNodes {
+		// Probe fan-in grows with the overlay; keep mailboxes ahead of
+		// it so backpressure stays an overload signal, not the norm.
+		dcfg.MailboxSize = 32 * cfg.OverlayNodes
+	}
+	dcfg.CollectTimeout = 25 * time.Millisecond
+	dcfg.HoldTTL = 250 * time.Millisecond
+	dcfg.SweepInterval = 50 * time.Millisecond
+	dcfg.CommitTimeout = 100 * time.Millisecond
+	dcfg.ComposeRetries = cfg.Retries
+	dcfg.RetryBackoff = 5 * time.Millisecond
+	dcfg.Registry = reg
+	dcfg.Faults = &faults.Config{
+		Seed:     cfg.Seed,
+		DropProb: cfg.DropProb,
+		DupProb:  cfg.DupProb,
+		MaxDelay: cfg.MaxDelay,
+		Crashes:  cfg.Crashes,
+	}
+	c, err := dist.New(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Shutdown()
+
+	res := &DistFaultResult{Requests: cfg.Requests}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	per := (cfg.Requests + cfg.Workers - 1) / cfg.Workers
+	issued := 0
+	for w := 0; w < cfg.Workers && issued < cfg.Requests; w++ {
+		n := per
+		if issued+n > cfg.Requests {
+			n = cfg.Requests - issued
+		}
+		issued += n
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				req := distFaultRequest((w*5 + i) % c.NumNodes())
+				comp, err := c.Compose(req)
+				mu.Lock()
+				switch {
+				case err == nil:
+					res.Succeeded++
+				case errors.Is(err, dist.ErrNoComposition):
+					res.Failed++
+				default:
+					res.Errored++
+				}
+				mu.Unlock()
+				if err == nil {
+					c.Release(req, comp)
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+
+	res.Recovered = c.AwaitIdle(10 * time.Second)
+	snap := reg.Snapshot()
+	res.Dropped = snap.Counters["dist.faults.dropped"]
+	res.Duplicated = snap.Counters["dist.faults.duplicated"]
+	res.Delayed = snap.Counters["dist.faults.delayed"]
+	res.Crashes = snap.Counters["dist.node.crashes"]
+	res.Retries = snap.Counters["dist.compose.retries"]
+	res.HoldsSwept = snap.Counters["dist.holds.swept"]
+	return res, nil
+}
+
+// faultLossGrid is the injected-loss x-axis of the degradation sweep.
+var faultLossGrid = []float64{0, 0.05, 0.10, 0.20, 0.30, 0.40}
+
+// FaultSweep measures success rate versus injected message-loss rate on
+// the distributed engine — the degradation curve the paper's protocol
+// design implies: losses cost probes (and with them composition
+// chances), but never correctness; every request completes and all
+// resources recover.
+func FaultSweep(o Options) ([]*Table, error) {
+	o = o.normalize()
+	tbl := &Table{
+		Title: "Fault sweep: success rate (%) vs injected message loss (%), N=32, 48 requests, 3 retries",
+		Header: []string{"loss %", "success %", "no-composition %", "errors",
+			"dropped msgs", "retries", "holds swept", "recovered"},
+	}
+	for _, loss := range faultLossGrid {
+		res, err := DistFaultRun(DistFaultConfig{Seed: o.Seed, DropProb: loss})
+		if err != nil {
+			return nil, err
+		}
+		recovered := "yes"
+		if !res.Recovered {
+			recovered = "NO"
+		}
+		tbl.AddRow(
+			fmtPct(loss),
+			fmtPct(res.SuccessRate()),
+			fmtPct(float64(res.Failed)/float64(res.Requests)),
+			fmt.Sprintf("%d", res.Errored),
+			fmt.Sprintf("%d", res.Dropped),
+			fmt.Sprintf("%d", res.Retries),
+			fmt.Sprintf("%d", res.HoldsSwept),
+			recovered,
+		)
+	}
+	return []*Table{tbl}, nil
+}

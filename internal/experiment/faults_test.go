@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func TestDistFaultRunFaultFree(t *testing.T) {
+	res, err := DistFaultRun(DistFaultConfig{Seed: 1, Requests: 12, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Succeeded + res.Failed + res.Errored; got != 12 {
+		t.Errorf("completed %d of 12 requests", got)
+	}
+	if res.Errored != 0 {
+		t.Errorf("%d requests errored", res.Errored)
+	}
+	if res.Succeeded == 0 {
+		t.Error("no request succeeded on a fault-free cluster")
+	}
+	if !res.Recovered {
+		t.Error("fault-free cluster did not return to capacity")
+	}
+	if res.Dropped != 0 {
+		t.Errorf("fault-free run dropped %d messages", res.Dropped)
+	}
+}
+
+func TestDistFaultRunUnderLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault batch in -short mode")
+	}
+	res, err := DistFaultRun(DistFaultConfig{
+		Seed:     2,
+		Requests: 24,
+		Workers:  6,
+		DropProb: 0.2,
+		DupProb:  0.05,
+		MaxDelay: 2 * time.Millisecond,
+		Crashes:  faults.RandomCrashes(2, 32, 2, 300*time.Millisecond, 150*time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Succeeded + res.Failed + res.Errored; got != 24 {
+		t.Errorf("completed %d of 24 requests", got)
+	}
+	if res.Errored != 0 {
+		t.Errorf("%d requests errored (want clean success/no-composition only)", res.Errored)
+	}
+	if res.Dropped == 0 {
+		t.Error("injector never dropped a message at 20% loss")
+	}
+	if !res.Recovered {
+		t.Error("resources did not recover after the lossy batch")
+	}
+}
+
+func TestFaultSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	tables, err := FaultSweep(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) != len(faultLossGrid) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(faultLossGrid))
+	}
+	for i, row := range tbl.Rows {
+		if row[3] != "0" {
+			t.Errorf("loss row %s: %s requests errored", row[0], row[3])
+		}
+		if row[7] != "yes" {
+			t.Errorf("loss row %s: cluster did not recover", row[0])
+		}
+		if i == 0 && parsePct(t, row[1]) == 0 {
+			t.Error("zero success rate with no injected loss")
+		}
+	}
+}

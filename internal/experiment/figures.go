@@ -362,6 +362,9 @@ func Figures() map[string]FigureFunc {
 		"7":  Figure7,
 		"8a": Figure8a,
 		"8b": Figure8b,
+		// Not a paper figure: the dist engine's success-vs-loss
+		// degradation curve under injected faults.
+		"faults": FaultSweep,
 	}
 }
 

@@ -150,6 +150,13 @@ func TestNilTracerIsNoOpAndAllocationFree(t *testing.T) {
 		tr.Committed(1, 2)
 		tr.RolledBack(1, 2, ReasonAbort)
 		tr.SessionReleased(1)
+		tr.MsgDropped(1, 2, ReasonFaultInjected)
+		tr.MsgDelayed(1, 2, 0.5)
+		tr.MsgDuplicated(1, 2)
+		tr.NodeCrashed(2)
+		tr.NodeRestarted(2)
+		tr.HoldSwept(2, 3)
+		tr.ComposeRetried(1, 2, 1)
 	})
 	if allocs != 0 {
 		t.Errorf("nil tracer emissions allocate %v bytes/op, want 0", allocs)
@@ -195,6 +202,50 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(events, want) {
 		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", events, want)
+	}
+}
+
+// TestFaultEventRoundTrip covers the fault-injection and recovery event
+// schema: node identity, reasons, and the Count tally survive JSONL.
+func TestFaultEventRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := New(sink)
+	now := time.Duration(0)
+	tr.SetClock(func() time.Duration { now += time.Millisecond; return now })
+
+	tr.MsgDropped(3, 5, ReasonNodeDown)
+	tr.MsgDelayed(3, 5, 2.5)
+	tr.MsgDuplicated(3, 5)
+	tr.NodeCrashed(5)
+	tr.NodeRestarted(5)
+	tr.HoldSwept(5, 4)
+	tr.ComposeRetried(3, 1, 2)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{AtMicros: 1000, Type: EventMsgDropped, Req: 3, Pos: -1, Node: 5, Reason: ReasonNodeDown},
+		{AtMicros: 2000, Type: EventMsgDelayed, Req: 3, Pos: -1, Node: 5, Reason: ReasonFaultInjected, LatencyMs: 2.5},
+		{AtMicros: 3000, Type: EventMsgDuplicated, Req: 3, Pos: -1, Node: 5, Reason: ReasonFaultInjected},
+		{AtMicros: 4000, Type: EventNodeCrashed, Pos: -1, Node: 5, Reason: ReasonNodeCrash},
+		{AtMicros: 5000, Type: EventNodeRestarted, Pos: -1, Node: 5},
+		{AtMicros: 6000, Type: EventHoldSwept, Pos: -1, Node: 5, Count: 4},
+		{AtMicros: 7000, Type: EventComposeRetried, Req: 3, Pos: -1, Node: 1, Count: 2},
+	}
+	if !reflect.DeepEqual(events, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", events, want)
+	}
+	// None of the fault events open or close probe spans.
+	for _, e := range events {
+		if e.OpensSpan() || e.ClosesSpan() {
+			t.Errorf("fault event %s participates in span accounting", e.Type)
+		}
 	}
 }
 

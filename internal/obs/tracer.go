@@ -54,6 +54,25 @@ const (
 	EventRolledBack EventType = "composition.rolledback"
 	// EventSessionReleased marks a committed session torn down.
 	EventSessionReleased EventType = "session.released"
+	// EventMsgDropped records a non-probe protocol message lost by fault
+	// injection or a node outage (lost probes close their span with
+	// EventProbeDropped instead).
+	EventMsgDropped EventType = "msg.dropped"
+	// EventMsgDelayed records an injected delivery delay.
+	EventMsgDelayed EventType = "msg.delayed"
+	// EventMsgDuplicated records an injected duplicate delivery.
+	EventMsgDuplicated EventType = "msg.duplicated"
+	// EventNodeCrashed marks a node entering a scheduled outage; its
+	// volatile state (holds, in-flight requests) is lost.
+	EventNodeCrashed EventType = "node.crashed"
+	// EventNodeRestarted marks a node coming back from an outage.
+	EventNodeRestarted EventType = "node.restarted"
+	// EventHoldSwept records the periodic sweep expiring transient
+	// allocations orphaned past their TTL (holds whose probes were lost).
+	EventHoldSwept EventType = "hold.swept"
+	// EventComposeRetried marks the deputy-side retry of a compose
+	// attempt that failed under transient loss.
+	EventComposeRetried EventType = "request.retried"
 )
 
 // Reason classifies why a candidate was pruned, a probe dropped, or a
@@ -101,6 +120,13 @@ const (
 	ReasonAbort Reason = "abort"
 	// ReasonInternal: a malformed message or graph (defensive paths).
 	ReasonInternal Reason = "internal"
+	// ReasonFaultInjected: the message was lost by fault injection.
+	ReasonFaultInjected Reason = "fault-injected"
+	// ReasonNodeDown: the destination (or processing) node was inside a
+	// scheduled outage.
+	ReasonNodeDown Reason = "node-down"
+	// ReasonNodeCrash: a node outage wiped the in-flight request state.
+	ReasonNodeCrash Reason = "node-crash"
 )
 
 // Event is one structured probe-lifecycle record.
@@ -128,6 +154,9 @@ type Event struct {
 	// LatencyMs is the probe's accumulated travel time in milliseconds
 	// on spawn/return events.
 	LatencyMs float64 `json:"latencyMs,omitempty"`
+	// Count is a small event-specific tally: holds expired on
+	// hold.swept, the attempt number on request.retried.
+	Count int `json:"count,omitempty"`
 }
 
 // OpensSpan reports whether the event opens a probe span.
@@ -286,6 +315,45 @@ func (t *Tracer) RolledBack(req int64, node int, reason Reason) {
 // SessionReleased records a committed session torn down.
 func (t *Tracer) SessionReleased(req int64) {
 	t.emit(Event{Type: EventSessionReleased, Req: req, Pos: -1, Node: -1})
+}
+
+// MsgDropped records a non-probe protocol message lost in transit to
+// node (fault injection or outage). Lost probes are recorded with
+// ProbeDropped instead so their span closes.
+func (t *Tracer) MsgDropped(req int64, node int, reason Reason) {
+	t.emit(Event{Type: EventMsgDropped, Req: req, Pos: -1, Node: node, Reason: reason})
+}
+
+// MsgDelayed records an injected delivery delay toward node.
+func (t *Tracer) MsgDelayed(req int64, node int, delayMs float64) {
+	t.emit(Event{Type: EventMsgDelayed, Req: req, Pos: -1, Node: node, Reason: ReasonFaultInjected, LatencyMs: delayMs})
+}
+
+// MsgDuplicated records an injected duplicate delivery toward node.
+func (t *Tracer) MsgDuplicated(req int64, node int) {
+	t.emit(Event{Type: EventMsgDuplicated, Req: req, Pos: -1, Node: node, Reason: ReasonFaultInjected})
+}
+
+// NodeCrashed marks node entering an outage, losing its volatile state.
+func (t *Tracer) NodeCrashed(node int) {
+	t.emit(Event{Type: EventNodeCrashed, Pos: -1, Node: node, Reason: ReasonNodeCrash})
+}
+
+// NodeRestarted marks node coming back from an outage.
+func (t *Tracer) NodeRestarted(node int) {
+	t.emit(Event{Type: EventNodeRestarted, Pos: -1, Node: node})
+}
+
+// HoldSwept records the periodic sweep at node expiring count orphaned
+// transient allocations past their TTL.
+func (t *Tracer) HoldSwept(node, count int) {
+	t.emit(Event{Type: EventHoldSwept, Pos: -1, Node: node, Count: count})
+}
+
+// ComposeRetried records the deputy retrying a failed compose attempt;
+// attempt is 1-based and req is the ID of the attempt that failed.
+func (t *Tracer) ComposeRetried(req int64, node, attempt int) {
+	t.emit(Event{Type: EventComposeRetried, Req: req, Pos: -1, Node: node, Count: attempt})
 }
 
 // MemorySink collects events in memory for tests and in-process
