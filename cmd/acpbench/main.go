@@ -1,0 +1,137 @@
+// Command acpbench converts `go test -bench` output into a JSON
+// benchmark baseline, so successive PRs leave a machine-readable perf
+// trajectory next to the human-readable results files.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | go run ./cmd/acpbench -o BENCH_pr3.json
+//	acpbench bench.txt
+//
+// Every metric pair the benchmark line carries is kept — the standard
+// ns/op, B/op, allocs/op triple and any testing.B custom metrics
+// (admitted/op, phi, ...).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "acpbench:", err)
+		os.Exit(1)
+	}
+}
+
+// Baseline is the emitted document.
+type Baseline struct {
+	// Context carries the goos/goarch/pkg/cpu header lines.
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks holds one entry per benchmark result line.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one `BenchmarkName-P  N  v unit  v unit ...` line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("acpbench", flag.ContinueOnError)
+	outPath := fs.String("o", "", "write JSON here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("expected at most one input file, got %d", fs.NArg())
+	}
+	in := stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	b, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(b.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines in input")
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+func parse(r io.Reader) (*Baseline, error) {
+	b := &Baseline{Context: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "", strings.HasPrefix(line, "ok "), strings.HasPrefix(line, "PASS"),
+			strings.HasPrefix(line, "FAIL"), strings.HasPrefix(line, "---"), strings.HasPrefix(line, "==="):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			b.Context[key] = strings.TrimSpace(val)
+		case strings.HasPrefix(line, "Benchmark"):
+			bm, err := parseResult(line)
+			if err != nil {
+				return nil, err
+			}
+			b.Benchmarks = append(b.Benchmarks, bm)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// parseResult decodes one result line: name, iteration count, then
+// value/unit pairs.
+func parseResult(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("benchmark %s: iterations %q: %v", fields[0], fields[1], err)
+	}
+	bm := Benchmark{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("benchmark %s: value %q: %v", fields[0], fields[i], err)
+		}
+		bm.Metrics[fields[i+1]] = v
+	}
+	return bm, nil
+}

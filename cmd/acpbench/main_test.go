@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkFaultDisabledDeliver-8   	12345678	        95.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig6-8                   	       1	123456789 ns/op	        0.8420 admitted_frac	       42.00 phi
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseSample(t *testing.T) {
+	b, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Context["goos"] != "linux" || b.Context["pkg"] != "repro" {
+		t.Errorf("context = %v", b.Context)
+	}
+	if len(b.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(b.Benchmarks))
+	}
+	d := b.Benchmarks[0]
+	if d.Name != "BenchmarkFaultDisabledDeliver-8" || d.Iterations != 12345678 {
+		t.Errorf("first benchmark = %+v", d)
+	}
+	if d.Metrics["ns/op"] != 95.2 || d.Metrics["allocs/op"] != 0 {
+		t.Errorf("metrics = %v", d.Metrics)
+	}
+	f := b.Benchmarks[1]
+	if f.Metrics["admitted_frac"] != 0.842 || f.Metrics["phi"] != 42 {
+		t.Errorf("custom metrics = %v", f.Metrics)
+	}
+}
+
+func TestRunEmitsJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal([]byte(out.String()), &b); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(b.Benchmarks) != 2 {
+		t.Errorf("round-tripped %d benchmarks, want 2", len(b.Benchmarks))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("PASS\nok repro 0.1s\n"), &out); err == nil {
+		t.Fatal("input without benchmark lines accepted")
+	}
+}
+
+func TestParseMalformedLine(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX-8 notanumber 1 ns/op\n")); err == nil {
+		t.Fatal("malformed iteration count accepted")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkX-8 5 1\n")); err == nil {
+		t.Fatal("dangling metric value accepted")
+	}
+}

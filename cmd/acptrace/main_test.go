@@ -1,12 +1,18 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/component"
+	"repro/internal/dist"
+	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/qos"
 )
 
 // writeTrace records a small balanced trace: two requests, three probes,
@@ -82,6 +88,112 @@ func TestLeakedSpanReport(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "LEAKED SPANS") {
 		t.Errorf("leak not reported:\n%s", out.String())
+	}
+}
+
+// simTrace records a real probe-lifecycle trace by driving requests
+// through the deterministic simulation harness with a JSONL sink
+// attached — the same artifact acpsim -trace-out produces, but seeded
+// and instantaneous.
+func simTrace(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	cfg := dist.DefaultConfig()
+	cfg.Seed = 3
+	cfg.IPNodes = 64
+	cfg.OverlayNodes = 8
+	cfg.NeighborsPerNode = 3
+	cfg.NumFunctions = 4
+	cfg.ComponentsPerNode = 2
+	cfg.Tracer = obs.New(sink)
+	s, err := harness.NewSim(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		req := &component.Request{
+			Graph:        component.NewPathGraph([]component.FunctionID{0, 1, 2}),
+			QoSReq:       qos.Vector{Delay: 1e5, LossCost: qos.LossCost(0.9)},
+			ResReq:       []qos.Resources{{CPU: 5, Memory: 50}, {CPU: 5, Memory: 50}, {CPU: 5, Memory: 50}},
+			BandwidthReq: 20,
+			Client:       i,
+			Duration:     time.Hour,
+		}
+		h, err := s.Cluster.ComposeAsync(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunToQuiescence(); err != nil {
+			t.Fatal(err)
+		}
+		comp, _, done := h.Poll()
+		if !done {
+			t.Fatalf("request %d unresolved at quiescence", i)
+		}
+		if comp != nil {
+			s.Cluster.Release(req, comp)
+			if err := s.RunToQuiescence(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sim.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSimulatedTrace summarises a trace the simulation harness
+// recorded: every span the protocol actually opened must close, and
+// the per-request table must cover each simulated request.
+func TestSimulatedTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-requests", simTrace(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"3 requests",
+		"every spawned probe span closed",
+		"per-request spans",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "LEAKED SPANS") {
+		t.Errorf("clean simulated trace reported leaked spans:\n%s", got)
+	}
+}
+
+// TestMalformedLine: a trace cut off mid-record (crashed writer) must
+// fail loudly with the offending event's position, not be half-read.
+func TestMalformedLine(t *testing.T) {
+	good, err := os.ReadFile(simTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := good[:len(good)-len(good)/3] // slice into the middle of a record
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	if err := os.WriteFile(path, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{path}, &out); err == nil {
+		t.Fatal("torn trace file accepted")
+	}
+
+	garbled := filepath.Join(t.TempDir(), "garbled.jsonl")
+	if err := os.WriteFile(garbled, []byte("{\"type\":\"probe.spawned\"}\nnot json at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{garbled}, &out); err == nil {
+		t.Fatal("garbled trace line accepted")
 	}
 }
 

@@ -18,11 +18,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/component"
 	"repro/internal/faults"
+	"repro/internal/harness/clock"
 	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/qos"
@@ -92,6 +95,11 @@ type Config struct {
 	// Registry, when non-nil, exposes cluster counters and histograms
 	// (probes sent/dropped/returned, commits, rollbacks). nil disables.
 	Registry *obs.Registry
+	// Clock supplies time to every timeout, TTL, sweep, and backoff in
+	// the cluster. nil means the wall clock; the deterministic
+	// simulation harness (internal/harness) substitutes a virtual clock
+	// so protocol time elapses instantly and reproducibly.
+	Clock clock.Clock
 }
 
 // DefaultConfig returns a test-sized distributed cluster.
@@ -176,6 +184,7 @@ type Cluster struct {
 	tracer     *obs.Tracer
 	ins        instruments
 	faults     *faults.Injector
+	clock      clock.Clock
 	sweepEvery time.Duration
 
 	mu      sync.Mutex
@@ -184,6 +193,18 @@ type Cluster struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 	timers  sync.WaitGroup // outstanding delayed-delivery timers
+
+	// inflight counts messages the node goroutines still owe work for:
+	// queued in a mailbox or mid-dispatch. The credit is taken *before*
+	// the message becomes visible and returned only after its dispatch
+	// completes, so inflight == 0 proves every node is parked in its
+	// select — the virtual-clock driver in the tests relies on this to
+	// know that firing the next timer cannot preempt a dispatch whose
+	// sends have not all landed yet. (Messages parked in a
+	// delayed-delivery timer are deliberately excluded: releasing them
+	// is itself a clock advance, ordered against protocol timeouts by
+	// deadline.)
+	inflight atomic.Int64
 }
 
 // New builds the substrate and starts one goroutine per overlay node.
@@ -227,10 +248,18 @@ func build(cfg Config) (*Cluster, error) {
 	if cfg.MailboxSize < 16 {
 		cfg.MailboxSize = 16
 	}
+	clk := clock.Or(cfg.Clock)
 	var inj *faults.Injector
 	if cfg.Faults != nil {
+		fcfg := *cfg.Faults
+		if fcfg.Clock == nil {
+			// The injector's crash schedule runs on the cluster's clock
+			// so scheduled outages replay deterministically under the
+			// simulation harness.
+			fcfg.Clock = clk
+		}
 		var err error
-		if inj, err = faults.New(*cfg.Faults); err != nil {
+		if inj, err = faults.New(fcfg); err != nil {
 			return nil, err
 		}
 	}
@@ -265,6 +294,7 @@ func build(cfg Config) (*Cluster, error) {
 		tracer:  cfg.Tracer,
 		ins:     newInstruments(cfg.Registry),
 		faults:  inj,
+		clock:   clk,
 		done:    make(chan struct{}),
 	}
 	switch {
@@ -275,9 +305,32 @@ func build(cfg Config) (*Cluster, error) {
 	}
 	c.nodes = make([]*node, mesh.NumNodes())
 	for id := range c.nodes {
-		c.nodes[id] = newNode(c, id, rand.New(rand.NewSource(cfg.Seed*7919+int64(id))))
+		c.nodes[id] = newNode(c, id, rand.New(rand.NewSource(nodeSeed(cfg.Seed, int64(id)))))
 	}
 	return c, nil
+}
+
+// nodeSeed derives a per-node rng seed from the cluster seed by
+// splitmix64-style avalanche hashing. The previous affine derivation
+// (seed*7919 + id) collapsed for seed 0 — every node's source became
+// its own id and node 0 shared source 0 with the cluster rng — and for
+// any two seeds 7919 apart adjacent nodes shared streams. Mixing makes
+// every (seed, id) pair land in an unrelated stream.
+func nodeSeed(seed, id int64) int64 {
+	h := mix64(uint64(seed) + 0x9e3779b97f4a7c15)
+	h = mix64(h ^ (uint64(id) + 0xbf58476d1ce4e5b9))
+	return int64(h)
+}
+
+// mix64 is the splitmix64 finaliser. Applying it to the seed word
+// *before* folding the id in matters: the finaliser is bijective, so
+// any affine pre-mix combination of (seed, id) would carry its
+// collisions (e.g. seed -1 aliasing seed 1 at a shifted id) straight
+// through to the output.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 func (c *Cluster) start() {
@@ -322,7 +375,11 @@ func (c *Cluster) deliverFaulty(to int, m message, kind faults.Kind) bool {
 		c.ins.faultDelays.Inc()
 		c.tracer.MsgDelayed(reqOf(m), to, float64(a.Delay)/float64(time.Millisecond))
 		c.timers.Add(1)
-		time.AfterFunc(a.Delay, func() {
+		// No inflight credit while parked: delivery needs the clock to
+		// reach the delay deadline, and the virtual driver orders that
+		// against protocol timeouts by deadline — a probe delayed past
+		// the collect window is *supposed* to miss the decide.
+		c.clock.AfterFunc(a.Delay, func() {
 			defer c.timers.Done()
 			if !c.nodes[to].send(m) {
 				c.dropInjected(to, m, obs.ReasonMailbox)
@@ -387,7 +444,7 @@ func (c *Cluster) trySendRelease(to int, owner int64, attempt int) {
 		c.ins.releasesLost.Inc()
 		return
 	}
-	time.AfterFunc(releaseBackoff<<attempt, func() {
+	c.clock.AfterFunc(releaseBackoff<<attempt, func() {
 		c.trySendRelease(to, owner, attempt+1)
 	})
 }
@@ -421,7 +478,7 @@ func (c *Cluster) Compose(req *component.Request) (*Composition, error) {
 		c.ins.composeRetries.Inc()
 		alpha = math.Min(1, alpha+c.cfg.RetryAlphaStep)
 		select {
-		case <-time.After(c.cfg.RetryBackoff << attempt):
+		case <-c.clock.After(c.cfg.RetryBackoff << attempt):
 		case <-c.done:
 			return nil, ErrClosed
 		}
@@ -465,7 +522,7 @@ func (c *Cluster) Release(req *component.Request, comp *Composition) {
 		return
 	}
 	demands := c.demandsOf(req, comp.Components)
-	for nodeID := range demands.nodes {
+	for _, nodeID := range sortedNodeKeys(demands.nodes) {
 		c.sendRelease(nodeID, comp.owner)
 	}
 	c.links.release(demands.links)
@@ -525,15 +582,15 @@ func (c *Cluster) Idle() bool {
 // orphaned by injected loss take up to HoldTTL (plus a sweep period) to
 // decay.
 func (c *Cluster) AwaitIdle(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	deadline := c.clock.Now().Add(timeout)
 	for {
 		if c.Idle() {
 			return true
 		}
-		if time.Now().After(deadline) {
+		if c.clock.Now().After(deadline) {
 			return false
 		}
-		time.Sleep(10 * time.Millisecond)
+		c.clock.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -608,6 +665,14 @@ func newLinkTable(mesh *overlay.Mesh) *linkTable {
 	return t
 }
 
+// linkAvailable returns one link's current availability.
+func (t *linkTable) linkAvailable(id int) float64 {
+	t.mu[id].Lock()
+	a := t.available[id]
+	t.mu[id].Unlock()
+	return a
+}
+
 // routeAvailable returns the bottleneck availability along a route.
 func (t *linkTable) routeAvailable(route overlay.Route) float64 {
 	if route.CoLocated {
@@ -653,6 +718,19 @@ func (t *linkTable) release(links map[int]float64) {
 		}
 		t.mu[id].Unlock()
 	}
+}
+
+// sortedNodeKeys orders a per-node demand map's keys so commit,
+// rollback, and release fan-out walk participants in a reproducible
+// order — map iteration order would otherwise reshuffle message and
+// fault-injection sequencing between identically-seeded runs.
+func sortedNodeKeys(m map[int]qos.Resources) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
 }
 
 func sortedKeys(m map[int]float64) []int {

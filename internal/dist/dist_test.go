@@ -11,14 +11,12 @@ import (
 	"repro/internal/qos"
 )
 
+// testCluster runs on the auto-advanced virtual clock (virtual_test.go)
+// so protocol timeouts cost microseconds of wall time. Tests that probe
+// real wall-clock behaviour build their own cluster with New.
 func testCluster(t *testing.T) *Cluster {
 	t.Helper()
-	c, err := New(DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(c.Shutdown)
-	return c
+	return virtualCluster(t, DefaultConfig())
 }
 
 func easyRequest(client int) *component.Request {
@@ -129,14 +127,9 @@ func TestComposeReleaseConservation(t *testing.T) {
 	}
 	// After a hold-TTL quiet period every node must be back at full
 	// capacity (releases are async; allow them to drain).
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if c.Idle() {
-			return
-		}
-		time.Sleep(20 * time.Millisecond)
+	if !c.AwaitIdle(5 * time.Second) {
+		t.Error("capacity did not return to full after compose/release churn")
 	}
-	t.Error("capacity did not return to full after compose/release churn")
 }
 
 func TestConcurrentCompose(t *testing.T) {
@@ -290,14 +283,9 @@ func TestSustainedChurnConservation(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	deadline := time.Now().Add(8 * time.Second)
-	for time.Now().Before(deadline) {
-		if c.Idle() {
-			return
-		}
-		time.Sleep(25 * time.Millisecond)
+	if !c.AwaitIdle(8 * time.Second) {
+		t.Error("capacity leaked under sustained concurrent churn")
 	}
-	t.Error("capacity leaked under sustained concurrent churn")
 }
 
 // TestCoarseViewSteersSelection: after one node's resources are heavily
@@ -362,11 +350,7 @@ func TestCoarseViewSteersSelection(t *testing.T) {
 func TestHoldsExpire(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.HoldTTL = 200 * time.Millisecond
-	c, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Shutdown()
+	c := virtualCluster(t, cfg)
 
 	// A request that probes successfully per hop but fails at the final
 	// QoS evaluation is hard to construct; instead run normal requests
@@ -382,12 +366,7 @@ func TestHoldsExpire(t *testing.T) {
 		}
 		c.Release(req, comp)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if c.Idle() {
-			return
-		}
-		time.Sleep(25 * time.Millisecond)
+	if !c.AwaitIdle(5 * time.Second) {
+		t.Error("transient holds survived their TTL")
 	}
-	t.Error("transient holds survived their TTL")
 }

@@ -59,12 +59,8 @@ func TestFaultDisabledParity(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Registry = reg
 		cfg.Faults = fcfg
-		c, err := New(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer c.Shutdown()
-		comp, err = c.Compose(easyRequest(3))
+		c := virtualCluster(t, cfg)
+		comp, err := c.Compose(easyRequest(3))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -223,10 +219,7 @@ func faultWorkload(t *testing.T, cfg Config, workers, perWorker int) (successes 
 	reg := obs.NewRegistry()
 	cfg.Tracer = obs.New(sink)
 	cfg.Registry = reg
-	c, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := virtualCluster(t, cfg)
 
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -363,11 +356,7 @@ func TestFaultRetryWidensAlpha(t *testing.T) {
 	cfg.Tracer = obs.New(sink)
 	cfg.Registry = reg
 	cfg.Faults = &faults.Config{Seed: 1, DropProb: 1} // nothing gets through
-	c, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Shutdown()
+	c := virtualCluster(t, cfg)
 
 	if _, err := c.Compose(easyRequest(0)); !errors.Is(err, ErrNoComposition) {
 		t.Fatalf("err = %v, want ErrNoComposition", err)

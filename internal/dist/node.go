@@ -164,10 +164,12 @@ func newNode(c *Cluster, id int, rng *rand.Rand) *node {
 // broadcasts tolerate drops (the view just goes stale); protocol
 // messages treat a full mailbox as an overloaded peer.
 func (n *node) send(m message) bool {
+	n.c.inflight.Add(1) // before the enqueue: no visible-but-uncounted window
 	select {
 	case n.mailbox <- m:
 		return true
 	default:
+		n.c.inflight.Add(-1)
 		return false
 	}
 }
@@ -176,18 +178,20 @@ func (n *node) send(m message) bool {
 // up when the node shuts down. Used for the deputy's own timer events,
 // which must not be lost to a momentarily full mailbox.
 func (n *node) sendBlocking(m message) {
+	n.c.inflight.Add(1)
 	select {
 	case n.mailbox <- m:
 	case <-n.quit:
+		n.c.inflight.Add(-1)
 	}
 }
 
 func (n *node) run() {
 	var sweepC <-chan time.Time
 	if n.c.sweepEvery > 0 {
-		ticker := time.NewTicker(n.c.sweepEvery)
+		ticker := n.c.clock.NewTicker(n.c.sweepEvery)
 		defer ticker.Stop()
-		sweepC = ticker.C
+		sweepC = ticker.C()
 	}
 	for {
 		select {
@@ -196,6 +200,7 @@ func (n *node) run() {
 		case m := <-n.mailbox:
 			n.checkCrash()
 			n.dispatch(m)
+			n.c.inflight.Add(-1) // dispatch done: every send it made is counted
 		case <-sweepC:
 			n.checkCrash()
 			n.sweep()
@@ -213,7 +218,7 @@ func (n *node) sweep() {
 		n.c.ins.holdsSwept.Add(int64(expired))
 	}
 	if len(n.released) > 0 {
-		now := time.Now()
+		now := n.c.clock.Now()
 		for owner, exp := range n.released {
 			if !exp.After(now) {
 				delete(n.released, owner)
@@ -254,7 +259,8 @@ func (n *node) crash() {
 	n.c.ins.nodeCrashes.Inc()
 	n.holds = make(map[holdKey]hold)
 	n.heldTotal = qos.Resources{}
-	for reqID, p := range n.pending {
+	for _, reqID := range sortedPendingIDs(n.pending) {
+		p := n.pending[reqID]
 		if p.comp != nil {
 			n.rollback(p, reqID, obs.ReasonNodeCrash)
 			continue
@@ -264,6 +270,17 @@ func (n *node) crash() {
 		n.c.ins.noComposition.Inc()
 		p.reply <- composeReply{err: ErrNoComposition}
 	}
+}
+
+// sortedPendingIDs orders the deputy's in-flight request IDs so a crash
+// fails them in a reproducible sequence.
+func sortedPendingIDs(pending map[int64]*pendingCompose) []int64 {
+	out := make([]int64, 0, len(pending))
+	for id := range pending {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // restart brings the node back: views may be stale (they refresh from
@@ -351,9 +368,10 @@ func (n *node) purgeHolds() int {
 	if len(n.holds) == 0 {
 		return 0
 	}
-	now := time.Now()
+	now := n.c.clock.Now()
 	expired := 0
-	for key, h := range n.holds {
+	for _, key := range sortedHoldKeys(n.holds) {
+		h := n.holds[key]
 		if !h.expires.After(now) {
 			n.heldTotal = n.heldTotal.Sub(h.amount)
 			delete(n.holds, key)
@@ -362,6 +380,22 @@ func (n *node) purgeHolds() int {
 		}
 	}
 	return expired
+}
+
+// sortedHoldKeys orders hold keys by (owner, pos) so expiry sweeps emit
+// tracer events in a reproducible sequence.
+func sortedHoldKeys(holds map[holdKey]hold) []holdKey {
+	out := make([]holdKey, 0, len(holds))
+	for key := range holds {
+		out = append(out, key)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].owner != out[j].owner {
+			return out[i].owner < out[j].owner
+		}
+		return out[i].pos < out[j].pos
+	})
+	return out
 }
 
 // holdFor places the transient allocation for (owner, pos); idempotent
@@ -374,7 +408,7 @@ func (n *node) holdFor(owner int64, pos int, amount qos.Resources) bool {
 	if !n.available().Covers(amount) {
 		return false
 	}
-	n.holds[key] = hold{amount: amount, expires: time.Now().Add(n.c.cfg.HoldTTL)}
+	n.holds[key] = hold{amount: amount, expires: n.c.clock.Now().Add(n.c.cfg.HoldTTL)}
 	n.heldTotal = n.heldTotal.Add(amount)
 	return true
 }
@@ -440,7 +474,7 @@ func (n *node) onCompose(msg composeMsg) {
 		return
 	}
 	reqID := msg.req.ID
-	time.AfterFunc(n.c.cfg.CollectTimeout, func() {
+	n.c.clock.AfterFunc(n.c.cfg.CollectTimeout, func() {
 		n.sendBlocking(decideMsg{reqID: reqID})
 	})
 }
@@ -710,7 +744,8 @@ func (n *node) onDecide(reqID int64) {
 // startCommit sends the per-node confirmations of the decided
 // composition and arms the commit-ack timeout.
 func (n *node) startCommit(reqID int64, p *pendingCompose) {
-	for nodeID, amount := range p.nodeDemand {
+	for _, nodeID := range sortedNodeKeys(p.nodeDemand) {
+		amount := p.nodeDemand[nodeID]
 		if _, live := n.pending[reqID]; !live {
 			// An inline nack already rolled the commit back; every
 			// participant (including the unsent ones) has been released
@@ -733,7 +768,7 @@ func (n *node) startCommit(reqID int64, p *pendingCompose) {
 	if _, live := n.pending[reqID]; !live {
 		return // resolved inline (single-node commit or rolled back)
 	}
-	time.AfterFunc(n.c.cfg.CommitTimeout, func() {
+	n.c.clock.AfterFunc(n.c.cfg.CommitTimeout, func() {
 		n.sendBlocking(commitTimeoutMsg{reqID: reqID})
 	})
 }
@@ -780,9 +815,16 @@ func (n *node) evaluateReturn(req *component.Request, ret returnMsg) (*Compositi
 		}
 		residual := math.Inf(1)
 		if !route.CoLocated {
-			residual = n.c.links.routeAvailable(route) - req.BandwidthReq
-			if residual < 0 {
-				return nil, demands{}, false
+			// The residual is what each link has left after ALL of this
+			// request's reservations on it (footnote 8): edges sharing
+			// an overlay link stack their bandwidth, which is also what
+			// the commit-phase reserve will need to find available.
+			for _, link := range route.Links {
+				r := n.c.links.linkAvailable(link) - dem.links[link]
+				if r < 0 {
+					return nil, demands{}, false
+				}
+				residual = math.Min(residual, r)
 			}
 		}
 		phi += qos.BandwidthCongestionTerm(req.BandwidthReq, residual)
@@ -864,7 +906,7 @@ func (n *node) rollback(p *pendingCompose, reqID int64, reason obs.Reason) {
 	n.c.tracer.RolledBack(reqID, n.id, reason)
 	n.c.ins.rollbacks.Inc()
 	n.c.links.release(p.linkDemand)
-	for nodeID := range p.nodeDemand {
+	for _, nodeID := range sortedNodeKeys(p.nodeDemand) {
 		if nodeID == n.id {
 			n.onRelease(releaseMsg{owner: reqID})
 			continue
@@ -886,7 +928,7 @@ func (n *node) rollback(p *pendingCompose, reqID int64, reason obs.Reason) {
 // injected delivery delays must stay under.
 func (n *node) onRelease(msg releaseMsg) {
 	n.releaseHolds(msg.owner)
-	n.released[msg.owner] = time.Now().Add(n.c.cfg.HoldTTL)
+	n.released[msg.owner] = n.c.clock.Now().Add(n.c.cfg.HoldTTL)
 	amount, ok := n.commits[msg.owner]
 	if !ok {
 		return

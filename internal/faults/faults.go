@@ -23,6 +23,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/harness/clock"
 )
 
 // Kind classifies a message for injection purposes. Session-teardown
@@ -66,6 +68,10 @@ type Config struct {
 	// comes back with its volatile state (holds, in-flight requests)
 	// gone.
 	Crashes []Crash
+	// Clock measures the outage schedule. Nil means the wall clock; the
+	// simulation harness substitutes a virtual clock so crash windows
+	// elapse in simulated time.
+	Clock clock.Clock
 }
 
 // Action is the injector's verdict for one message send.
@@ -82,6 +88,7 @@ type Action struct {
 // from New.
 type Injector struct {
 	cfg   Config
+	clk   clock.Clock
 	start time.Time
 
 	mu  sync.Mutex
@@ -118,9 +125,11 @@ func New(cfg Config) (*Injector, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	clk := clock.Or(cfg.Clock)
 	in := &Injector{
 		cfg:     cfg,
-		start:   time.Now(),
+		clk:     clk,
+		start:   clk.Now(),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		crashes: make(map[int][]Crash, len(cfg.Crashes)),
 	}
@@ -171,7 +180,7 @@ func (in *Injector) Down(node int) bool {
 	if !ok {
 		return false
 	}
-	elapsed := time.Since(in.start)
+	elapsed := in.clk.Since(in.start)
 	for _, cr := range s {
 		if elapsed >= cr.At && elapsed < cr.At+cr.Downtime {
 			return true

@@ -1,0 +1,176 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallBasics(t *testing.T) {
+	c := Wall()
+	start := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(start) <= 0 {
+		t.Error("wall Since did not advance across Sleep")
+	}
+	fired := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("wall AfterFunc never fired")
+	}
+	if Or(nil) != Wall() {
+		t.Error("Or(nil) is not the wall clock")
+	}
+	if v := NewVirtual(); Or(v) != v {
+		t.Error("Or(v) did not pass the clock through")
+	}
+}
+
+func TestVirtualAdvanceFiresInOrder(t *testing.T) {
+	v := NewVirtual()
+	var order []int
+	v.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	v.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	v.AfterFunc(10*time.Millisecond, func() { order = append(order, 2) }) // same deadline: registration order
+	v.AfterFunc(50*time.Millisecond, func() { order = append(order, 4) })
+
+	v.Advance(40 * time.Millisecond)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fired order %v, want [1 2 3]", order)
+	}
+	if got := v.PendingTimers(); got != 1 {
+		t.Errorf("pending = %d, want 1", got)
+	}
+	v.Advance(10 * time.Millisecond)
+	if len(order) != 4 || order[3] != 4 {
+		t.Errorf("late timer did not fire: %v", order)
+	}
+}
+
+func TestVirtualAdvanceToNext(t *testing.T) {
+	v := NewVirtual()
+	epoch := v.Now()
+	fired := 0
+	v.AfterFunc(7*time.Millisecond, func() { fired++ })
+	v.AfterFunc(20*time.Millisecond, func() { fired++ })
+
+	step, ok := v.AdvanceToNext()
+	if !ok || step != 7*time.Millisecond || fired != 1 {
+		t.Fatalf("first AdvanceToNext: step=%v ok=%v fired=%d", step, ok, fired)
+	}
+	step, ok = v.AdvanceToNext()
+	if !ok || step != 13*time.Millisecond || fired != 2 {
+		t.Fatalf("second AdvanceToNext: step=%v ok=%v fired=%d", step, ok, fired)
+	}
+	if _, ok := v.AdvanceToNext(); ok {
+		t.Error("AdvanceToNext reported a timer on an empty clock")
+	}
+	if got := v.Since(epoch); got != 20*time.Millisecond {
+		t.Errorf("virtual elapsed = %v, want 20ms", got)
+	}
+}
+
+func TestVirtualCallbackReschedules(t *testing.T) {
+	// A callback that re-arms itself within the advance window must fire
+	// again inside the same Advance call (retry-backoff chains rely on
+	// this).
+	v := NewVirtual()
+	count := 0
+	var rearm func()
+	rearm = func() {
+		count++
+		if count < 3 {
+			v.AfterFunc(time.Millisecond, rearm)
+		}
+	}
+	v.AfterFunc(time.Millisecond, rearm)
+	v.Advance(10 * time.Millisecond)
+	if count != 3 {
+		t.Errorf("chained callback fired %d times, want 3", count)
+	}
+}
+
+func TestVirtualTimerStop(t *testing.T) {
+	v := NewVirtual()
+	fired := false
+	timer := v.AfterFunc(5*time.Millisecond, func() { fired = true })
+	if !timer.Stop() {
+		t.Error("Stop on pending timer reported false")
+	}
+	if timer.Stop() {
+		t.Error("second Stop reported true")
+	}
+	v.Advance(10 * time.Millisecond)
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestVirtualTicker(t *testing.T) {
+	v := NewVirtual()
+	tk := v.NewTicker(10 * time.Millisecond)
+	ticks := 0
+	for i := 0; i < 3; i++ {
+		v.Advance(10 * time.Millisecond)
+		select {
+		case <-tk.C():
+			ticks++
+		default:
+			t.Fatalf("tick %d not delivered", i)
+		}
+	}
+	tk.Stop()
+	v.Advance(50 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Error("stopped ticker ticked")
+	default:
+	}
+	if ticks != 3 {
+		t.Errorf("ticks = %d, want 3", ticks)
+	}
+	// An unconsumed tick is dropped, not queued (time.Ticker semantics).
+	tk2 := v.NewTicker(time.Millisecond)
+	v.Advance(10 * time.Millisecond)
+	drained := 0
+	for {
+		select {
+		case <-tk2.C():
+			drained++
+			continue
+		default:
+		}
+		break
+	}
+	if drained > 1 {
+		t.Errorf("ticker queued %d ticks across one advance, want at most 1 buffered", drained)
+	}
+	tk2.Stop()
+}
+
+func TestVirtualSleepAndAfter(t *testing.T) {
+	v := NewVirtual()
+	var wg sync.WaitGroup
+	woke := make(chan time.Duration, 1)
+	start := v.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v.Sleep(25 * time.Millisecond)
+		woke <- v.Since(start)
+	}()
+	// Let the sleeper register its timer, then advance.
+	for v.PendingTimers() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	v.Advance(25 * time.Millisecond)
+	wg.Wait()
+	if got := <-woke; got != 25*time.Millisecond {
+		t.Errorf("sleeper woke at %v, want 25ms", got)
+	}
+	if d, ok := v.NextDeadline(); ok {
+		t.Errorf("unexpected pending deadline %v", d)
+	}
+}

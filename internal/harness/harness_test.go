@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// seedCount reads ACP_SIM_SEEDS: how many randomized seeds each
+// simulation test sweeps. CI's sim-harness job sets 50, the nightly
+// variant 500; the local default keeps `go test ./...` quick.
+func seedCount(t *testing.T, def int) int {
+	t.Helper()
+	v := os.Getenv("ACP_SIM_SEEDS")
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("ACP_SIM_SEEDS=%q is not a positive integer", v)
+	}
+	return n
+}
+
+// replaySeed reads ACP_SIM_SEED: when set, every sweep runs only that
+// seed — the one-liner replay for a failing run:
+//
+//	ACP_SIM_SEED=<seed> go test ./internal/harness -run TestRandomizedScenarios -v
+func replaySeed(t *testing.T) (int64, bool) {
+	t.Helper()
+	v := os.Getenv("ACP_SIM_SEED")
+	if v == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		t.Fatalf("ACP_SIM_SEED=%q is not an integer", v)
+	}
+	return n, true
+}
+
+// reportFailure prints the failing seed and the tail of its step log so
+// the schedule position of the violation is visible without rerunning.
+func reportFailure(t *testing.T, rep *Report, err error) {
+	t.Helper()
+	const tail = 40
+	log := rep.Log
+	if len(log) > tail {
+		log = log[len(log)-tail:]
+	}
+	t.Errorf("seed %d failed after %d steps: %v\nreplay: ACP_SIM_SEED=%d go test ./internal/harness -run %s -v\nlast %d schedule entries:\n%s",
+		rep.Seed, rep.Steps, err, rep.Seed, t.Name(), len(log), strings.Join(log, "\n"))
+}
+
+func TestRandomizedScenarios(t *testing.T) {
+	if seed, ok := replaySeed(t); ok {
+		rep, err := RunScenario(ScenarioConfig{Seed: seed})
+		if err != nil {
+			reportFailure(t, rep, err)
+		}
+		return
+	}
+	n := seedCount(t, 10)
+	for seed := int64(1); seed <= int64(n); seed++ {
+		rep, err := RunScenario(ScenarioConfig{Seed: seed})
+		if err != nil {
+			reportFailure(t, rep, err)
+			return
+		}
+		if rep.Steps == 0 {
+			t.Fatalf("seed %d: scenario dispatched no messages", seed)
+		}
+	}
+}
+
+func TestOracleParity(t *testing.T) {
+	if seed, ok := replaySeed(t); ok {
+		rep, err := RunScenario(ScenarioConfig{Seed: seed, Oracle: true})
+		if err != nil {
+			reportFailure(t, rep, err)
+		}
+		return
+	}
+	n := seedCount(t, 5)
+	if n > 50 {
+		n = 50 // the exhaustive oracle is the expensive half; cap the nightly sweep
+	}
+	admitted := 0
+	for seed := int64(1); seed <= int64(n); seed++ {
+		rep, err := RunScenario(ScenarioConfig{Seed: seed, Oracle: true, Requests: 10})
+		if err != nil {
+			reportFailure(t, rep, err)
+			return
+		}
+		admitted += rep.Admitted
+	}
+	if admitted == 0 {
+		t.Fatal("oracle sweep admitted nothing; scenario workload is degenerate")
+	}
+}
+
+// TestSchedulerDeterminism is the bit-reproducibility contract: the
+// same seed must replay the identical schedule, step for step.
+func TestSchedulerDeterminism(t *testing.T) {
+	first, err := RunScenario(ScenarioConfig{Seed: 42, Requests: 8})
+	if err != nil {
+		reportFailure(t, first, err)
+		return
+	}
+	second, err := RunScenario(ScenarioConfig{Seed: 42, Requests: 8})
+	if err != nil {
+		reportFailure(t, second, err)
+		return
+	}
+	if len(first.Log) != len(second.Log) {
+		t.Fatalf("same seed, different schedule lengths: %d vs %d", len(first.Log), len(second.Log))
+	}
+	for i := range first.Log {
+		if first.Log[i] != second.Log[i] {
+			t.Fatalf("same seed diverged at schedule entry %d:\n  run 1: %s\n  run 2: %s",
+				i, first.Log[i], second.Log[i])
+		}
+	}
+	if first.Admitted != second.Admitted || first.Steps != second.Steps {
+		t.Fatalf("same seed, different outcomes: admitted %d vs %d, steps %d vs %d",
+			first.Admitted, second.Admitted, first.Steps, second.Steps)
+	}
+}
+
+// TestDistinctSeedsDiverge guards the other direction: different seeds
+// must explore different schedules (this is what the splitmix seed
+// derivation in dist exists for — the old affine derivation made seed
+// families collide).
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, err := RunScenario(ScenarioConfig{Seed: 1, Requests: 8})
+	if err != nil {
+		reportFailure(t, a, err)
+		return
+	}
+	b, err := RunScenario(ScenarioConfig{Seed: 2, Requests: 8})
+	if err != nil {
+		reportFailure(t, b, err)
+		return
+	}
+	if strings.Join(a.Log, "\n") == strings.Join(b.Log, "\n") {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+// TestSimQuiescenceResolvesEverything: an oracle-mode run (no faults)
+// must admit a healthy share of a feasible workload.
+func TestSimAdmitsFeasibleWorkload(t *testing.T) {
+	rep, err := RunScenario(ScenarioConfig{Seed: 7, Oracle: true, Requests: 10})
+	if err != nil {
+		reportFailure(t, rep, err)
+		return
+	}
+	if rep.Admitted == 0 {
+		t.Fatalf("zero of %d feasible requests admitted under zero faults", rep.Requests)
+	}
+}

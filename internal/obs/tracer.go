@@ -73,6 +73,12 @@ const (
 	// EventComposeRetried marks the deputy-side retry of a compose
 	// attempt that failed under transient loss.
 	EventComposeRetried EventType = "request.retried"
+	// EventAuditViolation marks an invariant violated during a
+	// deterministic simulation run (resource conservation, commit-ledger
+	// consistency, tombstone idempotency). Emitted by the harness
+	// auditor at the step where the invariant first broke, so a recorded
+	// trace pinpoints the violating schedule position.
+	EventAuditViolation EventType = "audit.violation"
 )
 
 // Reason classifies why a candidate was pruned, a probe dropped, or a
@@ -157,6 +163,9 @@ type Event struct {
 	// Count is a small event-specific tally: holds expired on
 	// hold.swept, the attempt number on request.retried.
 	Count int `json:"count,omitempty"`
+	// Detail carries free-form context on audit.violation events: which
+	// invariant broke and the offending values.
+	Detail string `json:"detail,omitempty"`
 }
 
 // OpensSpan reports whether the event opens a probe span.
@@ -354,6 +363,13 @@ func (t *Tracer) HoldSwept(node, count int) {
 // attempt is 1-based and req is the ID of the attempt that failed.
 func (t *Tracer) ComposeRetried(req int64, node, attempt int) {
 	t.emit(Event{Type: EventComposeRetried, Req: req, Pos: -1, Node: node, Count: attempt})
+}
+
+// AuditViolation records an invariant broken at node (or -1 for a
+// cluster-wide invariant), with free-form detail naming the invariant
+// and the offending values. Emitted by the simulation harness auditor.
+func (t *Tracer) AuditViolation(node int, detail string) {
+	t.emit(Event{Type: EventAuditViolation, Pos: -1, Node: node, Detail: detail})
 }
 
 // MemorySink collects events in memory for tests and in-process

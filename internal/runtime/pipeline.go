@@ -69,7 +69,7 @@ func (c *Cluster) startPipeline(s *session) {
 					return // forced teardown
 				}
 				if delay > 0 {
-					time.Sleep(delay)
+					c.clock.Sleep(delay)
 				}
 				if lossThreshold > 0 && unitHash(unit.Seq, pos) < lossThreshold {
 					// Simulated overload drop (footnote 2 of the paper);

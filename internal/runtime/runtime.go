@@ -24,6 +24,7 @@ import (
 	"repro/internal/component"
 	"repro/internal/core"
 	"repro/internal/discovery"
+	"repro/internal/harness/clock"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/overlay"
@@ -91,6 +92,10 @@ type Config struct {
 	// Registry, when non-nil, exposes control-plane instruments
 	// (find outcomes, active sessions, find latency). nil disables.
 	Registry *obs.Registry
+	// Clock supplies time to hold expiry, find-latency measurement, and
+	// data-plane pacing sleeps. nil means the wall clock; the simulation
+	// harness substitutes a virtual clock.
+	Clock clock.Clock
 }
 
 // DefaultConfig returns a laptop-sized cluster: 64 stream nodes over a
@@ -138,6 +143,8 @@ type Cluster struct {
 	findFailures   *obs.Counter
 	activeSessions *obs.Gauge
 	findLatencyMs  *obs.Histogram
+
+	clock clock.Clock
 
 	mu        sync.Mutex
 	ledger    *state.Ledger
@@ -188,6 +195,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 
+	clk := clock.Or(cfg.Clock)
 	c := &Cluster{
 		cfg:       cfg,
 		mesh:      mesh,
@@ -196,7 +204,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		rng:       rng,
 		functions: make(map[component.FunctionID]ProcessorFunc),
 		sessions:  make(map[SessionID]*session),
-		start:     time.Now(),
+		clock:     clk,
+		start:     clk.Now(),
 
 		finds:          cfg.Registry.Counter("runtime.finds"),
 		findFailures:   cfg.Registry.Counter("runtime.find_failures"),
@@ -234,8 +243,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// now supplies monotonic wall-clock time to the ledger's hold expiry.
-func (c *Cluster) now() time.Duration { return time.Since(c.start) }
+// now supplies monotonic time on the cluster's clock to the ledger's
+// hold expiry.
+func (c *Cluster) now() time.Duration { return c.clock.Since(c.start) }
 
 // EnableSelfTuning attaches a PI probing-ratio controller to the
 // cluster: every windowRequests Find calls, the observed composition
