@@ -52,6 +52,24 @@ func BenchmarkFig5a(b *testing.B) { benchFigure(b, "5a") }
 // under low/high/very-high QoS requirements.
 func BenchmarkFig5b(b *testing.B) { benchFigure(b, "5b") }
 
+// BenchmarkFig5aParallel regenerates Figure 5(a) with the concurrent
+// multi-request driver: the figure's 22 independent simulation cells run
+// across GOMAXPROCS workers instead of serially. allocs/op matches the
+// serial benchmark; ns/op shows the wall-clock speedup.
+func BenchmarkFig5aParallel(b *testing.B) {
+	opts := benchOptions()
+	opts.Parallel = -1
+	for i := 0; i < b.N; i++ {
+		tables, err := acp.ReproduceFigure("5a", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatal("empty figure result")
+		}
+	}
+}
+
 // BenchmarkFig6a regenerates Figure 6(a): success rate vs request rate
 // for all six algorithms.
 func BenchmarkFig6a(b *testing.B) { benchFigure(b, "6a") }
@@ -279,7 +297,7 @@ func TestDisabledTracerZeroAllocPerHop(t *testing.T) {
 		tr.RequestReceived(1, 0)
 		pid := tr.NextProbeID()
 		tr.ProbeSpawned(1, pid, 0, 2, 1.0)
-		tr.CandidatePruned(1, pid, 0, 2, "qos")
+		tr.CandidatePruned(1, pid, 0, 0, 2, "qos")
 		tr.HoldAcquired(1, pid, 0, 2)
 		tr.ProbeForwarded(1, pid, 0, 2, 3)
 		tr.ProbeReturned(1, pid, 2, 1.0)

@@ -1,24 +1,37 @@
 // Command acpbench converts `go test -bench` output into a JSON
 // benchmark baseline, so successive PRs leave a machine-readable perf
-// trajectory next to the human-readable results files.
+// trajectory next to the human-readable results files — and compares a
+// fresh run against a committed baseline to gate regressions.
 //
 // Usage:
 //
-//	go test -bench . -benchmem | go run ./cmd/acpbench -o BENCH_pr3.json
+//	go test -bench . -benchmem | go run ./cmd/acpbench -o BENCH_pr4.json
 //	acpbench bench.txt
+//	acpbench -compare BENCH_pr4.json -filter 'Fig5[ab]' -threshold 15 bench.txt
 //
 // Every metric pair the benchmark line carries is kept — the standard
 // ns/op, B/op, allocs/op triple and any testing.B custom metrics
 // (admitted/op, phi, ...).
+//
+// Compare mode reads the baseline named by -compare and the fresh
+// results from stdin or the input file (bench text or a previously
+// emitted JSON baseline), matches benchmarks by name (ignoring the
+// -GOMAXPROCS suffix), and fails if ns/op or allocs/op regressed by
+// more than -threshold percent. Benchmarks measured with fewer than
+// -min-iters iterations on either side are not gated: a single
+// iteration has no variance estimate at all, and gating on it would
+// convert scheduler noise into CI failures.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,6 +61,10 @@ type Benchmark struct {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("acpbench", flag.ContinueOnError)
 	outPath := fs.String("o", "", "write JSON here instead of stdout")
+	comparePath := fs.String("compare", "", "baseline JSON to compare the input against")
+	threshold := fs.Float64("threshold", 15, "max allowed regression percent for ns/op and allocs/op")
+	filter := fs.String("filter", "", "substring: only compare benchmarks whose name contains it")
+	minIters := fs.Int("min-iters", 2, "refuse to gate benchmarks with fewer iterations than this (min 2)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,12 +81,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		in = f
 	}
 
-	b, err := parse(in)
+	b, err := parseAny(in)
 	if err != nil {
 		return err
 	}
 	if len(b.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark result lines in input")
+	}
+
+	if *comparePath != "" {
+		base, err := loadBaseline(*comparePath)
+		if err != nil {
+			return err
+		}
+		return compare(base, b, *filter, *threshold, *minIters, stdout)
 	}
 
 	out := stdout
@@ -84,6 +109,118 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(b)
+}
+
+// loadBaseline reads a previously emitted JSON baseline.
+func loadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return b, nil
+}
+
+// parseAny accepts either raw `go test -bench` text or a JSON baseline,
+// so compare mode works on fresh bench output and on committed files
+// alike.
+func parseAny(r io.Reader) (*Baseline, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '{' {
+		b := &Baseline{}
+		if err := json.Unmarshal(trimmed, b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	return parse(bytes.NewReader(data))
+}
+
+// normName strips the trailing -GOMAXPROCS suffix so baselines recorded
+// on machines with different core counts still match up.
+func normName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// gatedMetrics are the metrics a regression gate is applied to. Custom
+// metrics (admitted_frac, phi, ...) are workload outcomes, not costs;
+// they are reported but never gated.
+var gatedMetrics = []string{"ns/op", "allocs/op"}
+
+// compare matches the new results against the baseline by normalized
+// name and fails if any gated metric regressed beyond the threshold.
+// Benchmarks with fewer than minIters iterations on either side are
+// skipped with a note instead of gated.
+func compare(base, fresh *Baseline, filter string, threshold float64, minIters int, out io.Writer) error {
+	if minIters < 2 {
+		return fmt.Errorf("-min-iters must be at least 2: single-iteration samples carry no variance estimate")
+	}
+	old := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, bm := range base.Benchmarks {
+		old[normName(bm.Name)] = bm
+	}
+
+	var names []string
+	seen := make(map[string]Benchmark, len(fresh.Benchmarks))
+	for _, bm := range fresh.Benchmarks {
+		name := normName(bm.Name)
+		if filter != "" && !strings.Contains(name, filter) {
+			continue
+		}
+		if _, ok := old[name]; !ok {
+			continue
+		}
+		seen[name] = bm
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no benchmarks in common with the baseline (filter %q)", filter)
+	}
+
+	var regressions []string
+	gated := 0
+	for _, name := range names {
+		ob, nb := old[name], seen[name]
+		if ob.Iterations < int64(minIters) || nb.Iterations < int64(minIters) {
+			fmt.Fprintf(out, "%-50s SKIPPED (iterations %d vs %d, need >= %d on both sides to gate)\n",
+				name, ob.Iterations, nb.Iterations, minIters)
+			continue
+		}
+		for _, metric := range gatedMetrics {
+			ov, okOld := ob.Metrics[metric]
+			nv, okNew := nb.Metrics[metric]
+			if !okOld || !okNew || ov == 0 {
+				continue
+			}
+			gated++
+			delta := (nv - ov) / ov * 100
+			status := "ok"
+			if delta > threshold {
+				status = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s %s %+.1f%%", name, metric, delta))
+			}
+			fmt.Fprintf(out, "%-50s %-10s %14.1f -> %14.1f  %+7.1f%%  %s\n", name, metric, ov, nv, delta, status)
+		}
+	}
+	if gated == 0 {
+		return fmt.Errorf("no benchmark pair had enough iterations to gate (need >= %d on both sides)", minIters)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("performance regression beyond %.0f%%: %s", threshold, strings.Join(regressions, "; "))
+	}
+	return nil
 }
 
 func parse(r io.Reader) (*Baseline, error) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -67,5 +69,109 @@ func TestParseMalformedLine(t *testing.T) {
 	}
 	if _, err := parse(strings.NewReader("BenchmarkX-8 5 1\n")); err == nil {
 		t.Fatal("dangling metric value accepted")
+	}
+}
+
+func baselineJSON(t *testing.T, iters int64, fig5aNs, fig5aAllocs float64) string {
+	t.Helper()
+	b := Baseline{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFig5a", Iterations: iters, Metrics: map[string]float64{"ns/op": fig5aNs, "allocs/op": fig5aAllocs}},
+		{Name: "BenchmarkFig5b-8", Iterations: iters, Metrics: map[string]float64{"ns/op": 2 * fig5aNs, "allocs/op": 2 * fig5aAllocs}},
+		{Name: "BenchmarkOther", Iterations: iters, Metrics: map[string]float64{"ns/op": 10, "allocs/op": 10}},
+	}}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func writeTempBaseline(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareAcceptsWithinThreshold(t *testing.T) {
+	base := writeTempBaseline(t, baselineJSON(t, 3, 1000, 500))
+	fresh := baselineJSON(t, 3, 1100, 520) // +10%, +4%
+	var out strings.Builder
+	err := run([]string{"-compare", base, "-threshold", "15"}, strings.NewReader(fresh), &out)
+	if err != nil {
+		t.Fatalf("within-threshold compare failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkFig5a") || !strings.Contains(out.String(), "ok") {
+		t.Errorf("comparison table missing entries:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	base := writeTempBaseline(t, baselineJSON(t, 3, 1000, 500))
+	fresh := baselineJSON(t, 3, 1300, 500) // +30% ns/op
+	var out strings.Builder
+	err := run([]string{"-compare", base, "-threshold", "15"}, strings.NewReader(fresh), &out)
+	if err == nil {
+		t.Fatalf("30%% regression accepted:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Errorf("error does not name the regression: %v", err)
+	}
+}
+
+func TestCompareRefusesSingleIterationSamples(t *testing.T) {
+	// iterations:1 on the baseline side: every benchmark is skipped, and
+	// with nothing left to gate the comparison must fail rather than
+	// silently pass.
+	base := writeTempBaseline(t, baselineJSON(t, 1, 1000, 500))
+	fresh := baselineJSON(t, 3, 5000, 5000)
+	var out strings.Builder
+	err := run([]string{"-compare", base}, strings.NewReader(fresh), &out)
+	if err == nil || !strings.Contains(err.Error(), "iterations") {
+		t.Fatalf("single-iteration baseline gated: err=%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "SKIPPED") {
+		t.Errorf("skip note missing:\n%s", out.String())
+	}
+}
+
+func TestCompareFilterAndSuffixNormalization(t *testing.T) {
+	base := writeTempBaseline(t, baselineJSON(t, 3, 1000, 500))
+	// BenchmarkOther regresses 100x but is filtered out; Fig5b matches
+	// despite the -8 suffix on one side only.
+	b := Baseline{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFig5b", Iterations: 3, Metrics: map[string]float64{"ns/op": 2000, "allocs/op": 1000}},
+		{Name: "BenchmarkOther-16", Iterations: 3, Metrics: map[string]float64{"ns/op": 1000, "allocs/op": 1000}},
+	}}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-compare", base, "-filter", "Fig5"}, strings.NewReader(string(data)), &out); err != nil {
+		t.Fatalf("filtered compare failed: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "BenchmarkOther") {
+		t.Errorf("filtered benchmark still compared:\n%s", out.String())
+	}
+}
+
+func TestCompareBenchTextInput(t *testing.T) {
+	base := writeTempBaseline(t, `{"benchmarks":[{"name":"BenchmarkFig5a","iterations":5,"metrics":{"ns/op":100,"allocs/op":50}}]}`)
+	text := "BenchmarkFig5a-8   	5	        101 ns/op	       0 B/op	       51 allocs/op\nPASS\n"
+	var out strings.Builder
+	if err := run([]string{"-compare", base}, strings.NewReader(text), &out); err != nil {
+		t.Fatalf("bench-text compare failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestCompareRejectsLowMinIters(t *testing.T) {
+	base := writeTempBaseline(t, baselineJSON(t, 3, 1000, 500))
+	var out strings.Builder
+	err := run([]string{"-compare", base, "-min-iters", "1"}, strings.NewReader(baselineJSON(t, 3, 1000, 500)), &out)
+	if err == nil {
+		t.Fatal("-min-iters 1 accepted: single-iteration gating must stay impossible")
 	}
 }

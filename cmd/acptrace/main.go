@@ -58,6 +58,8 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "trace            %s: %d events, %d requests\n", name, len(events), len(s.requests))
 	fmt.Fprintf(w, "spans            %d spawned, %d returned, %d forwarded, %d dropped, %d pruned in flight\n",
 		s.spawned, s.returned, s.forwarded, s.dropped, s.prunedInFlight)
+	fmt.Fprintf(w, "selection        %d candidates cut before send (%d attributed to a parent probe)\n",
+		s.prunedPreSend, s.prunedWithParent)
 	fmt.Fprintf(w, "decisions        %d committed, %d rolled back\n", s.committed, s.rolledBack)
 	if len(s.pruneReasons) > 0 {
 		fmt.Fprintln(w, "prune reasons:")
@@ -90,9 +92,15 @@ type requestSummary struct {
 type summary struct {
 	spawned, returned, forwarded, dropped int
 	prunedInFlight                        int
-	committed, rolledBack                 int
-	pruneReasons                          map[obs.Reason]int
-	requests                              map[int64]*requestSummary
+	// prunedPreSend counts candidates cut by per-hop selection before a
+	// probe was ever sent to them (probe id 0); prunedWithParent is the
+	// subset attributed to a live parent probe's span via Event.Parent
+	// rather than to the walk root.
+	prunedPreSend         int
+	prunedWithParent      int
+	committed, rolledBack int
+	pruneReasons          map[obs.Reason]int
+	requests              map[int64]*requestSummary
 }
 
 func summarise(events []obs.Event) summary {
@@ -128,6 +136,11 @@ func summarise(events []obs.Event) summary {
 			req(e.Req).pruned++
 			if e.Probe != 0 {
 				s.prunedInFlight++
+			} else {
+				s.prunedPreSend++
+				if e.Parent != 0 {
+					s.prunedWithParent++
+				}
 			}
 		case obs.EventCommitted:
 			s.committed++

@@ -34,9 +34,10 @@ func writeTrace(t *testing.T) string {
 	tr.Decided(1, 0, "")
 	tr.Committed(1, 0)
 	tr.RequestReceived(2, 5)
-	tr.CandidatePruned(2, 0, 0, 6, obs.ReasonQoS)
+	tr.CandidatePruned(2, 0, 0, 0, 6, obs.ReasonQoS)
 	tr.ProbeSpawned(2, 3, 0, 7, 1.0)
-	tr.CandidatePruned(2, 3, 0, 7, obs.ReasonResources)
+	tr.CandidatePruned(2, 3, 0, 0, 7, obs.ReasonResources)
+	tr.CandidatePruned(2, 0, 3, 1, 8, obs.ReasonRiskRank)
 	tr.Decided(2, 5, obs.ReasonNoComposition)
 	if err := sink.Flush(); err != nil {
 		t.Fatal(err)
@@ -56,9 +57,11 @@ func TestSummariseTrace(t *testing.T) {
 	for _, want := range []string{
 		"2 requests",
 		"3 spawned, 1 returned, 1 forwarded, 0 dropped, 1 pruned in flight",
+		"2 candidates cut before send (1 attributed to a parent probe)",
 		"1 committed, 0 rolled back",
 		"qos",
 		"resources",
+		"risk-rank",
 		"every spawned probe span closed",
 		"per-request spans",
 	} {

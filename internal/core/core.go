@@ -17,7 +17,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"time"
 
@@ -203,9 +202,18 @@ type Outcome struct {
 func (o *Outcome) Success() bool { return o.Best != nil }
 
 // Composer runs composition for one algorithm configuration.
+//
+// A Composer is NOT safe for concurrent use: the probe walk reuses
+// composer-lifetime scratch buffers (route cache, candidate cache,
+// ranking and demand accumulators) to stay allocation-free in steady
+// state. Concurrent drivers must build one composer per worker over the
+// shared environment and enable locking on the ledger and global state.
 type Composer struct {
 	env Env
 	cfg Config
+
+	walk    walkState
+	scratch walkScratch
 }
 
 // NewComposer validates the environment and configuration.
@@ -242,7 +250,9 @@ func NewComposer(env Env, cfg Config) (*Composer, error) {
 			cfg.Selection = SelectRiskThenCongestion
 		}
 	}
-	return &Composer{env: env, cfg: cfg}, nil
+	c := &Composer{env: env, cfg: cfg}
+	c.scratch = newWalkScratch(&c.env)
+	return c, nil
 }
 
 // Config returns the composer's effective configuration.
@@ -335,36 +345,4 @@ func (c *Composer) demands(req *component.Request, comp *Composition) (map[int]q
 		}
 	}
 	return nodes, links
-}
-
-// phi computes the congestion aggregation metric (Eq. 1) for a candidate
-// assignment against owner-credited precise availability: each component
-// contributes sum_k r_k/(rr_k + r_k) with rr the node's residual after
-// ALL of this request's placements there (footnote 5), and each virtual
-// link contributes b/(rb + b) with rb the bottleneck residual bandwidth
-// after this request's reservations (0 for co-located links, footnote 8).
-func (c *Composer) phi(req *component.Request, comps []component.ComponentID, routes []overlay.Route,
-	nodes map[int]qos.Resources, links map[int]float64) float64 {
-
-	owner := state.Owner(req.ID)
-	residualNode := make(map[int]qos.Resources, len(nodes))
-	for node, demand := range nodes {
-		residualNode[node] = c.env.Ledger.NodeAvailableFor(owner, node).Sub(demand)
-	}
-	total := 0.0
-	for pos, id := range comps {
-		node := c.env.Catalog.Component(id).Node
-		total += qos.CongestionTerm(req.ResReq[pos], residualNode[node])
-	}
-	for _, route := range routes {
-		residual := math.Inf(1)
-		if !route.CoLocated {
-			for _, link := range route.Links {
-				r := c.env.Ledger.LinkAvailableFor(owner, link) - links[link]
-				residual = math.Min(residual, r)
-			}
-		}
-		total += qos.BandwidthCongestionTerm(req.BandwidthReq, residual)
-	}
-	return total
 }

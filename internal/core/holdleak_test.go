@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/discovery"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/overlay"
+	"repro/internal/qos"
+	"repro/internal/state"
+	"repro/internal/topology"
+)
+
+// TestLeakedHoldNoLongerStarvesLaterPositions stages the extendProbe
+// partial-hold failure end to end. A four-position path request is
+// shaped so that at position 2 every candidate on node n0 acquires its
+// node hold but then fails a link hold (the route back to n0 re-crosses
+// links already held for position 1, and a foreign session has eaten the
+// slack), while one candidate on a link-disjoint node nD survives. The
+// position-3 candidates all live on n0 and need more capacity than n0
+// has once a leaked position-2 hold squats on it: before the fix the
+// loser's node hold was never rolled back, the position-3 raw
+// availability check failed, and the whole request was rejected even
+// though a qualified composition exists.
+func TestLeakedHoldNoLongerStarvesLaterPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+
+	tcfg := topology.DefaultConfig()
+	tcfg.Nodes = 200
+	g, err := topology.Generate(tcfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocfg := overlay.DefaultConfig()
+	ocfg.Nodes = 20
+	mesh, err := overlay.Build(g, ocfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// nA: any node whose route from n0 crosses at least one link. Those
+	// links are the ones position 1 will hold bandwidth on.
+	const n0 = 0
+	nA := -1
+	var poisonLinks []int
+	for v := 1; v < mesh.NumNodes(); v++ {
+		if r, ok := mesh.RouteBetween(n0, v); ok && !r.CoLocated && len(r.Links) > 0 {
+			nA, poisonLinks = v, r.Links
+			break
+		}
+	}
+	if nA < 0 {
+		t.Fatal("mesh has no routed neighbor for node 0")
+	}
+	poisoned := make(map[int]bool, len(poisonLinks))
+	minCap := math.Inf(1)
+	for _, l := range poisonLinks {
+		poisoned[l] = true
+		if c := mesh.Link(l).Capacity; c < minCap {
+			minCap = c
+		}
+	}
+	bw := minCap / 2
+
+	// nD: reachable from nA and n0 over links disjoint from the poisoned
+	// route, with capacity for one more bandwidth share.
+	nD := -1
+	for v := 1; v < mesh.NumNodes() && nD < 0; v++ {
+		if v == nA {
+			continue
+		}
+		r1, ok1 := mesh.RouteBetween(nA, v)
+		r2, ok2 := mesh.RouteBetween(v, n0)
+		if !ok1 || !ok2 {
+			continue
+		}
+		ok := true
+		for _, l := range append(append([]int(nil), r1.Links...), r2.Links...) {
+			if poisoned[l] || mesh.Link(l).Capacity < bw {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			nD = v
+		}
+	}
+	if nD < 0 {
+		t.Fatal("mesh has no link-disjoint detour node")
+	}
+
+	// Four functions; pin every candidate: F0 and F3 on n0, F1 on nA,
+	// F2 split between n0 (doomed) and nD (the detour that must win).
+	pcfg := component.DefaultPlacementConfig()
+	pcfg.NumFunctions = 4
+	pcfg.ComponentsPerNode = 1
+	cat, err := component.Place(mesh.NumNodes(), pcfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Candidates(2)) < 2 {
+		t.Fatal("seed produced fewer than two position-2 candidates")
+	}
+	move := func(f component.FunctionID, node int) {
+		for _, id := range cat.Candidates(f) {
+			if err := cat.Move(id, node); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	move(0, n0)
+	move(1, nA)
+	move(2, n0)
+	if err := cat.Move(cat.Candidates(2)[0], nD); err != nil {
+		t.Fatal(err)
+	}
+	move(3, n0)
+
+	clk := &testClock{}
+	counters := &metrics.Counters{}
+	ledger := state.NewLedger(mesh, qos.Resources{CPU: 100, Memory: 1000}, clk.Now)
+
+	// A foreign session leaves exactly 1.5 shares of raw capacity on the
+	// poisoned links: position 1's hold fits (1.5 -> 0.5 shares left),
+	// but a position-2 re-crossing cannot hold another full share. The
+	// credited precheck still passes (it credits the position-1 hold),
+	// so the failure surfaces inside the hold sequence — after the node
+	// hold succeeded. That is the leak site.
+	foreign := make(map[int]float64, len(poisonLinks))
+	for _, l := range poisonLinks {
+		foreign[l] = mesh.Link(l).Capacity - 1.5*bw
+	}
+	if err := ledger.CommitSession(999, nil, foreign); err != nil {
+		t.Fatal(err)
+	}
+
+	global, err := state.NewGlobal(ledger, mesh, state.DefaultGlobalConfig(), counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &obs.MemorySink{}
+	env := Env{
+		Mesh:     mesh,
+		Catalog:  cat,
+		Registry: discovery.NewRegistry(cat, mesh.NumNodes(), counters),
+		Ledger:   ledger,
+		Global:   global,
+		Counters: counters,
+		Now:      clk.Now,
+		Rand:     rng,
+		Tracer:   obs.New(sink),
+	}
+	cfg := DefaultConfig()
+	cfg.ProbingRatio = 1.0
+	c := mustComposer(t, env, cfg)
+
+	// Positions 0+3 together need 10+50 CPU on n0: fine with 100 — but
+	// not if a leaked position-2 hold (50 CPU) still squats there.
+	req := &component.Request{
+		ID:           1,
+		Graph:        component.NewPathGraph([]component.FunctionID{0, 1, 2, 3}),
+		QoSReq:       qos.Vector{Delay: 1e12, LossCost: 1e12},
+		ResReq:       []qos.Resources{{CPU: 10, Memory: 100}, {CPU: 10, Memory: 100}, {CPU: 50, Memory: 500}, {CPU: 50, Memory: 500}},
+		BandwidthReq: bw,
+		Client:       n0,
+		Duration:     10 * time.Minute,
+	}
+	out, err := c.Probe(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The failure path must actually have run: at least one candidate
+	// pruned at the link-hold step (after its node hold was placed).
+	holdLinkPrunes := 0
+	for _, e := range sink.Events() {
+		if e.Type == obs.EventCandidatePruned && e.Reason == obs.ReasonHoldLink {
+			holdLinkPrunes++
+		}
+	}
+	if holdLinkPrunes == 0 {
+		t.Fatal("scenario did not exercise the partial-hold failure path")
+	}
+
+	if !out.Success() {
+		t.Fatal("request starved: leaked position-2 hold blocked the position-3 candidate on the same node")
+	}
+	if node := cat.Component(out.Best.Components[2]).Node; node != nD {
+		t.Errorf("position 2 chose node %d, want detour node %d", node, nD)
+	}
+	if node := cat.Component(out.Best.Components[3]).Node; node != n0 {
+		t.Errorf("position 3 chose node %d, want %d", node, n0)
+	}
+	if err := ledger.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

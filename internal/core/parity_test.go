@@ -1,0 +1,166 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/discovery"
+	"repro/internal/metrics"
+	"repro/internal/overlay"
+	"repro/internal/qos"
+	"repro/internal/state"
+	"repro/internal/topology"
+)
+
+// parityGoldenPath holds per-seed decision fingerprints captured from
+// the pre-scratch-buffer walk implementation. The allocation rework must
+// be bit-identical: same admissions, same components, same phi down to
+// the last mantissa bit, same probe counts, same RNG consumption.
+// Regenerate with ACP_WRITE_PARITY_GOLDEN=1 (only when a deliberate
+// behaviour change is being landed).
+const parityGoldenPath = "testdata/parity_golden.json"
+
+type parityClock struct{ now time.Duration }
+
+// parityFingerprint replays a deterministic request sweep for one seed
+// across the probing algorithms and renders every decision as text.
+// Everything observable goes in: admissions, chosen components, phi and
+// accumulated QoS in hex float (exact bits), probe/path/qualified
+// counts, and latency. It is self-contained so the identical file can
+// run unchanged against the old and new walk implementations.
+func parityFingerprint(seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	tcfg := topology.DefaultConfig()
+	tcfg.Nodes = 200
+	g, err := topology.Generate(tcfg, rng)
+	if err != nil {
+		panic(err)
+	}
+	ocfg := overlay.DefaultConfig()
+	ocfg.Nodes = 30
+	mesh, err := overlay.Build(g, ocfg, rng)
+	if err != nil {
+		panic(err)
+	}
+	pcfg := component.DefaultPlacementConfig()
+	pcfg.NumFunctions = 10
+	pcfg.ComponentsPerNode = 2
+	cat, err := component.Place(mesh.NumNodes(), pcfg, rng)
+	if err != nil {
+		panic(err)
+	}
+
+	var lines []string
+	for _, alg := range []Algorithm{AlgACP, AlgSP, AlgRP, AlgOptimal} {
+		clk := &parityClock{}
+		counters := &metrics.Counters{}
+		ledger := state.NewLedger(mesh, qos.Resources{CPU: 100, Memory: 1000}, func() time.Duration { return clk.now })
+		global, err := state.NewGlobal(ledger, mesh, state.DefaultGlobalConfig(), counters)
+		if err != nil {
+			panic(err)
+		}
+		env := Env{
+			Mesh:     mesh,
+			Catalog:  cat,
+			Registry: discovery.NewRegistry(cat, mesh.NumNodes(), counters),
+			Ledger:   ledger,
+			Global:   global,
+			Counters: counters,
+			Now:      func() time.Duration { return clk.now },
+			Rand:     rand.New(rand.NewSource(seed ^ 0x5DEECE66D)),
+		}
+		cfg := DefaultConfig()
+		cfg.Algorithm = alg
+		composer, err := NewComposer(env, cfg)
+		if err != nil {
+			panic(err)
+		}
+
+		reqRng := rand.New(rand.NewSource(seed*7919 + int64(alg)))
+		for i := 0; i < 12; i++ {
+			clk.now += time.Second
+			req := randomRequest(reqRng, int64(i+1), pcfg.NumFunctions, mesh.NumNodes())
+			out, err := composer.Probe(req)
+			if err != nil {
+				panic(err)
+			}
+			head := fmt.Sprintf("%s req=%d client=%d probes=%d paths=%d qual=%d",
+				alg, req.ID, req.Client, out.ProbesSent, out.PathsReturned, out.Qualified)
+			if !out.Success() {
+				lines = append(lines, head+" reject")
+				continue
+			}
+			if err := composer.Commit(out); err != nil {
+				panic(err)
+			}
+			lines = append(lines, fmt.Sprintf("%s admit comps=%v phi=%s delay=%s loss=%s lat=%d",
+				head, out.Best.Components,
+				strconv.FormatFloat(out.Best.Phi, 'x', -1, 64),
+				strconv.FormatFloat(out.Best.QoS.Delay, 'x', -1, 64),
+				strconv.FormatFloat(out.Best.QoS.LossCost, 'x', -1, 64),
+				int64(out.Latency)))
+		}
+	}
+	return lines
+}
+
+// TestDecisionParityGolden replays 50 seeds against fingerprints
+// captured from the walk implementation before the scratch-buffer
+// rework. Any drift — a different admission, component choice, phi bit,
+// probe count, or RNG draw — fails here with the first diverging line.
+func TestDecisionParityGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parity sweep is a few seconds; skipped in -short")
+	}
+	const numSeeds = 50
+	got := make(map[string][]string, numSeeds)
+	for seed := int64(1); seed <= numSeeds; seed++ {
+		got[strconv.FormatInt(seed, 10)] = parityFingerprint(seed)
+	}
+
+	if os.Getenv("ACP_WRITE_PARITY_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(parityGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(parityGoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", parityGoldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(parityGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with ACP_WRITE_PARITY_GOLDEN=1): %v", err)
+	}
+	want := make(map[string][]string)
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != numSeeds {
+		t.Fatalf("golden file has %d seeds, want %d", len(want), numSeeds)
+	}
+	for seed := int64(1); seed <= numSeeds; seed++ {
+		key := strconv.FormatInt(seed, 10)
+		w, g := want[key], got[key]
+		if len(w) != len(g) {
+			t.Fatalf("seed %d: %d decisions, golden has %d", seed, len(g), len(w))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("seed %d decision %d diverged:\n golden: %s\n    got: %s", seed, i, w[i], g[i])
+			}
+		}
+	}
+}

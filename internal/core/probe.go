@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 	"time"
 
 	"repro/internal/component"
@@ -12,69 +11,202 @@ import (
 	"repro/internal/state"
 )
 
-// probeState is the state a (logical) probe carries while walking the
-// function graph in topological order: the partial component assignment,
-// the QoS accumulated over assigned components and the virtual links
-// between them, and the probe's own travel time. Physically the paper's
-// probes fork at split points and merge at the deputy (Figure 2); walking
-// partial assignments in topological order produces the same component
-// graphs, the same per-hop checks, and the same number of probe
-// transmissions, with the branch merge performed incrementally.
+// probeState is a probe that completed the function graph: the full
+// component assignment (an arena-backed snapshot), the QoS accumulated
+// over assigned components and the virtual links between them, and the
+// probe's own travel time. Physically the paper's probes fork at split
+// points and merge at the deputy (Figure 2); walking partial assignments
+// in topological order produces the same component graphs, the same
+// per-hop checks, and the same number of probe transmissions, with the
+// branch merge performed incrementally.
 type probeState struct {
-	comps   []component.ComponentID // per position; valid for assigned set
+	comps   []component.ComponentID // per position; points into the walk arena
 	acc     qos.Vector
 	latency float64 // ms travelled
 	id      int64   // tracer span ID; 0 when tracing is disabled (or root)
 }
 
-// walkState tracks per-request probing context.
+// hopChild is a probe mid-walk. Unlike probeState it carries only the
+// component chosen at its own hop: the rest of the prefix lives in the
+// walk's shared cursor assignment, which the depth-first expansion keeps
+// in sync with the recursion path — so extending a probe never copies
+// the whole assignment.
+type hopChild struct {
+	choice  component.ComponentID
+	acc     qos.Vector
+	latency float64
+	id      int64
+}
+
+// walkState tracks the per-request probing context.
 type walkState struct {
 	req        *component.Request
 	owner      state.Owner
 	expires    time.Duration
 	budget     int // remaining probe sends (MaxProbesPerRequest)
 	maxLatency float64
-	candidates map[component.FunctionID][]component.ComponentID
-	routes     map[[2]int]overlay.Route
 }
 
-func (c *Composer) newWalkState(req *component.Request) *walkState {
-	return &walkState{
-		req:        req,
-		owner:      state.Owner(req.ID),
-		expires:    c.env.Now() + c.cfg.HoldTTL,
-		budget:     c.cfg.MaxProbesPerRequest,
-		candidates: make(map[component.FunctionID][]component.ComponentID),
-		routes:     make(map[[2]int]overlay.Route),
+// nodeDemand and linkDemand accumulate a composition's per-node resource
+// and per-overlay-link bandwidth demands as small dense slices. The hot
+// path scans them linearly — compositions touch a handful of nodes and
+// links, where a scan beats a map and, unlike map iteration, keeps the
+// floating-point summation order deterministic.
+type nodeDemand struct {
+	node   int
+	amount qos.Resources
+}
+
+type linkDemand struct {
+	link int
+	bw   float64
+}
+
+// rankedCand is one coarse-qualified candidate in per-hop selection.
+type rankedCand struct {
+	id   component.ComponentID
+	node int
+	risk float64
+	cong float64
+}
+
+// walkScratch holds the composer-lifetime buffers that make the probe
+// walk (near-)allocation-free in steady state. Buffers are reset, never
+// freed, so capacity amortizes across requests. The route cache is keyed
+// from*N+to over the immutable mesh, so it persists for the composer's
+// whole lifetime; the candidate cache is invalidated per request by an
+// epoch counter because the catalog may change between requests (node
+// failures, migration).
+type walkScratch struct {
+	numNodes   int
+	routes     []overlay.Route // flat from*numNodes+to cache
+	routeKnown []bool
+
+	cands     [][]component.ComponentID // per FunctionID, epoch-guarded
+	candEpoch []uint64
+	epoch     uint64
+
+	cur   []component.ComponentID // DFS cursor assignment, one slot per position
+	arena []component.ComponentID // completed assignments, shared prefix storage
+	alive []probeState            // probes that completed the graph
+
+	children   [][]hopChild    // per-depth extendProbe output
+	predRoutes []overlay.Route // predecessorRoutes result buffer
+	preds      [][]int         // per-position predecessor lists, rebuilt per walk
+	predFlat   []int           // backing store for preds
+	predCounts []int           // per-position indegree scratch
+	ranked     []rankedCand    // selectCandidates ranking buffer
+	selected   []component.ComponentID
+	heldLinks  []int // links newly held by the current candidate
+
+	nodeDemands []nodeDemand
+	linkDemands []linkDemand
+	residuals   []qos.Resources
+
+	evalBuf [2]Composition // double-buffered composition evaluation
+	evalIdx int
+}
+
+func newWalkScratch(env *Env) walkScratch {
+	n := env.Mesh.NumNodes()
+	f := env.Catalog.NumFunctions()
+	return walkScratch{
+		numNodes:   n,
+		routes:     make([]overlay.Route, n*n),
+		routeKnown: make([]bool, n*n),
+		cands:      make([][]component.ComponentID, f),
+		candEpoch:  make([]uint64, f),
+	}
+}
+
+// beginWalk resets the per-request scratch state.
+func (c *Composer) beginWalk(req *component.Request) {
+	sc := &c.scratch
+	sc.epoch++
+	sc.arena = sc.arena[:0]
+	sc.alive = sc.alive[:0]
+	n := req.Graph.NumPositions()
+	if cap(sc.cur) < n {
+		sc.cur = make([]component.ComponentID, n)
+	} else {
+		sc.cur = sc.cur[:n]
+		for i := range sc.cur {
+			sc.cur[i] = 0
+		}
+	}
+	// Bucket the graph's edges into per-position predecessor lists once
+	// per walk: Graph.Predecessors allocates on every call, and the hot
+	// path asks once per candidate per hop. Buckets keep edge order, so
+	// the lists match Graph.Predecessors element for element.
+	edges := req.Graph.Edges
+	if cap(sc.predFlat) < len(edges) {
+		sc.predFlat = make([]int, len(edges))
+	}
+	if cap(sc.preds) < n {
+		sc.preds = make([][]int, n)
+	}
+	if cap(sc.predCounts) < n {
+		sc.predCounts = make([]int, n)
+	}
+	sc.preds = sc.preds[:n]
+	sc.predCounts = sc.predCounts[:n]
+	for i := range sc.predCounts {
+		sc.predCounts[i] = 0
+	}
+	for _, e := range edges {
+		sc.predCounts[e.To]++
+	}
+	off := 0
+	for p := 0; p < n; p++ {
+		sc.preds[p] = sc.predFlat[off : off : off+sc.predCounts[p]]
+		off += sc.predCounts[p]
+	}
+	for _, e := range edges {
+		sc.preds[e.To] = append(sc.preds[e.To], e.From)
+	}
+	c.walk = walkState{
+		req:     req,
+		owner:   state.Owner(req.ID),
+		expires: c.env.Now() + c.cfg.HoldTTL,
+		budget:  c.cfg.MaxProbesPerRequest,
 	}
 }
 
 // lookup resolves a function's candidates, caching per request so the
 // discovery system is charged once per function (§3.3 step 2).
-func (w *walkState) lookup(c *Composer, f component.FunctionID) []component.ComponentID {
-	if ids, ok := w.candidates[f]; ok {
-		return ids
+func (c *Composer) lookup(f component.FunctionID) []component.ComponentID {
+	sc := &c.scratch
+	if int(f) < 0 || int(f) >= len(sc.cands) {
+		// A function the catalog has never heard of; don't cache.
+		return c.env.Registry.Lookup(f)
+	}
+	if sc.candEpoch[f] == sc.epoch {
+		return sc.cands[f]
 	}
 	ids := c.env.Registry.Lookup(f)
-	w.candidates[f] = ids
+	sc.cands[f] = ids
+	sc.candEpoch[f] = sc.epoch
 	return ids
 }
 
-// route returns the virtual link between two overlay nodes, cached per
-// request: probe trees revisit the same node pairs many times.
-func (w *walkState) route(c *Composer, from, to int) overlay.Route {
-	key := [2]int{from, to}
-	if r, ok := w.routes[key]; ok {
-		return r
+// route returns the virtual link between two overlay nodes from the flat
+// composer-lifetime cache: probe trees revisit the same node pairs many
+// times, and the mesh topology is immutable for the composer's lifetime,
+// so each pair pays RouteBetween's path reconstruction exactly once.
+func (c *Composer) route(from, to int) overlay.Route {
+	sc := &c.scratch
+	idx := from*sc.numNodes + to
+	if !sc.routeKnown[idx] {
+		r, ok := c.env.Mesh.RouteBetween(from, to)
+		if !ok {
+			// Build keeps the overlay connected; an unreachable pair would
+			// indicate a hand-assembled mesh. Mark it infeasible.
+			r = overlay.Route{QoS: qos.Vector{Delay: math.Inf(1), LossCost: math.Inf(1)}}
+		}
+		sc.routes[idx] = r
+		sc.routeKnown[idx] = true
 	}
-	r, ok := c.env.Mesh.RouteBetween(from, to)
-	if !ok {
-		// Build keeps the overlay connected; an unreachable pair would
-		// indicate a hand-assembled mesh. Mark it infeasible.
-		r = overlay.Route{QoS: qos.Vector{Delay: math.Inf(1), LossCost: math.Inf(1)}}
-	}
-	w.routes[key] = r
-	return r
+	return sc.routes[idx]
 }
 
 // probeWalk runs the hop-by-hop probing protocol (Figure 3) for the
@@ -83,7 +215,8 @@ func (w *walkState) route(c *Composer, from, to int) overlay.Route {
 // conformance checking and transient allocation, then select the best
 // qualified composition at the deputy.
 func (c *Composer) probeWalk(req *component.Request) (*Outcome, error) {
-	w := c.newWalkState(req)
+	c.beginWalk(req)
+	w := &c.walk
 	out := &Outcome{Request: req}
 	tr := c.env.Tracer
 	tr.RequestReceived(req.ID, req.Client)
@@ -103,7 +236,7 @@ func (c *Composer) probeWalk(req *component.Request) (*Outcome, error) {
 	if exhaustive {
 		total, width := int64(0), int64(1)
 		for _, pos := range order {
-			k := int64(len(w.lookup(c, req.Graph.Functions[pos])))
+			k := int64(len(c.lookup(req.Graph.Functions[pos])))
 			width *= k
 			if width > 1<<40 {
 				width = 1 << 40 // clamp pathological fan-out
@@ -120,34 +253,18 @@ func (c *Composer) probeWalk(req *component.Request) (*Outcome, error) {
 	// probe budget binds, where depth-first guarantees the budget is
 	// spent completing compositions rather than stranding every probe
 	// mid-graph.
-	var alive []probeState
-	var expand func(p probeState, idx int)
-	expand = func(p probeState, idx int) {
-		if idx == len(order) {
-			alive = append(alive, p)
-			return
-		}
-		children := c.extendProbe(w, out, p, order[idx], idx == 0)
-		if p.id != 0 {
-			// Close the parent's span: it survived its own hop and its
-			// children (possibly zero) carry the walk on.
-			tr.ProbeForwarded(req.ID, p.id, order[idx-1],
-				c.env.Catalog.Component(p.comps[order[idx-1]]).Node, len(children))
-		}
-		for _, child := range children {
-			expand(child, idx+1)
-		}
-	}
-	expand(probeState{comps: make([]component.ComponentID, req.Graph.NumPositions())}, 0)
+	c.expand(out, order, 0, hopChild{})
+	alive := c.scratch.alive
 
 	// Complete probes travel back to the deputy (§3.3 step 3).
 	lastPos := 0
 	if len(order) > 0 {
 		lastPos = order[len(order)-1]
 	}
-	for _, p := range alive {
+	for i := range alive {
+		p := &alive[i]
 		node := c.env.Catalog.Component(p.comps[lastPos]).Node
-		l := p.latency + w.route(c, node, req.Client).QoS.Delay
+		l := p.latency + c.route(node, req.Client).QoS.Delay
 		if l > w.maxLatency {
 			w.maxLatency = l
 		}
@@ -156,7 +273,7 @@ func (c *Composer) probeWalk(req *component.Request) (*Outcome, error) {
 	c.env.Counters.AddProbeReturns(int64(len(alive)))
 	out.PathsReturned = len(alive)
 
-	best, qualified := c.selectBest(w, alive)
+	best, qualified := c.selectBest(alive)
 	out.Qualified = qualified
 	out.Latency = 2 * time.Duration(w.maxLatency*float64(time.Millisecond))
 
@@ -174,7 +291,7 @@ func (c *Composer) probeWalk(req *component.Request) (*Outcome, error) {
 	c.env.Ledger.ReleaseOwner(w.owner)
 	tr.HoldReleased(req.ID, -1)
 	if c.cfg.TransientAllocation {
-		if !c.holdComposition(w, best) {
+		if !c.holdComposition(best) {
 			c.env.Ledger.ReleaseOwner(w.owner)
 			tr.HoldReleased(req.ID, -1)
 			tr.Decided(req.ID, req.Client, obs.ReasonNoComposition)
@@ -186,19 +303,52 @@ func (c *Composer) probeWalk(req *component.Request) (*Outcome, error) {
 	return out, nil
 }
 
+// expand grows the probe tree depth-first from probe p at graph position
+// order[idx]. The walk cursor holds p's assignment prefix; completed
+// probes snapshot the cursor into the arena, whose append-only growth
+// keeps earlier snapshots valid even when the backing array is reallocated.
+func (c *Composer) expand(out *Outcome, order []int, idx int, p hopChild) {
+	sc := &c.scratch
+	req := c.walk.req
+	if idx == len(order) {
+		base := len(sc.arena)
+		sc.arena = append(sc.arena, sc.cur...)
+		sc.alive = append(sc.alive, probeState{
+			comps:   sc.arena[base : base+len(sc.cur)],
+			acc:     p.acc,
+			latency: p.latency,
+			id:      p.id,
+		})
+		return
+	}
+	pos := order[idx]
+	children := c.extendProbe(out, p, idx, pos, idx == 0)
+	if p.id != 0 {
+		// Close the parent's span: it survived its own hop and its
+		// children (possibly zero) carry the walk on.
+		c.env.Tracer.ProbeForwarded(req.ID, p.id, order[idx-1],
+			c.env.Catalog.Component(sc.cur[order[idx-1]]).Node, len(children))
+	}
+	for i := range children {
+		sc.cur[pos] = children[i].choice
+		c.expand(out, order, idx+1, children[i])
+	}
+}
+
 // holdComposition places aggregated transient holds covering exactly one
 // composition's demands. It reports false if any hold cannot be placed
 // (impossible within a single probing walk, but defended regardless).
-func (c *Composer) holdComposition(w *walkState, comp *Composition) bool {
-	nodes, links := c.demands(w.req, comp)
-	for node, amount := range nodes {
-		if !c.env.Ledger.HoldNode(w.owner, 0, node, amount, w.expires) {
+func (c *Composer) holdComposition(comp *Composition) bool {
+	w := &c.walk
+	nodes, links := c.accumulateDemands(w.req, comp.Components, comp.Routes)
+	for _, nd := range nodes {
+		if !c.env.Ledger.HoldNode(w.owner, 0, nd.node, nd.amount, w.expires) {
 			return false
 		}
-		c.env.Tracer.HoldAcquired(w.req.ID, 0, -1, node)
+		c.env.Tracer.HoldAcquired(w.req.ID, 0, -1, nd.node)
 	}
-	for link, bw := range links {
-		if !c.env.Ledger.HoldLink(w.owner, 0, link, bw, w.expires) {
+	for _, ld := range links {
+		if !c.env.Ledger.HoldLink(w.owner, 0, ld.link, ld.bw, w.expires) {
 			return false
 		}
 	}
@@ -207,17 +357,19 @@ func (c *Composer) holdComposition(w *walkState, comp *Composition) bool {
 
 // predecessorRoutes collects the virtual links from each already-assigned
 // predecessor of pos to the candidate node, accumulating their QoS. The
-// bool result is false if any predecessor link cannot carry the
-// bandwidth requirement per the given availability function.
-func (c *Composer) predecessorRoutes(w *walkState, p probeState, pos, candNode int) ([]overlay.Route, qos.Vector) {
-	preds := w.req.Graph.Predecessors(pos)
-	routes := make([]overlay.Route, len(preds))
+// result slice is a shared scratch buffer: it is valid only until the
+// next predecessorRoutes call, which every caller fully consumes first.
+func (c *Composer) predecessorRoutes(pos, candNode int) ([]overlay.Route, qos.Vector) {
+	sc := &c.scratch
+	routes := sc.predRoutes[:0]
 	var linkQoS qos.Vector
-	for i, pred := range preds {
-		from := c.env.Catalog.Component(p.comps[pred]).Node
-		routes[i] = w.route(c, from, candNode)
-		linkQoS = linkQoS.Add(routes[i].QoS)
+	for _, pred := range sc.preds[pos] {
+		from := c.env.Catalog.Component(sc.cur[pred]).Node
+		r := c.route(from, candNode)
+		routes = append(routes, r)
+		linkQoS = linkQoS.Add(r.QoS)
 	}
+	sc.predRoutes = routes
 	return routes, linkQoS
 }
 
@@ -225,23 +377,29 @@ func (c *Composer) predecessorRoutes(w *walkState, p probeState, pos, candNode i
 // for probe p choosing a component for graph position pos: discover
 // candidates, select which to probe, send child probes, apply the
 // precise conformance check and transient allocation at each candidate,
-// and return the surviving child probes. isSource marks the graph's
-// source position, whose probe hop starts from the deputy node.
-func (c *Composer) extendProbe(w *walkState, out *Outcome, p probeState, pos int, isSource bool) []probeState {
+// and return the surviving child probes (valid until the next
+// extendProbe call at the same depth). isSource marks the graph's source
+// position, whose probe hop starts from the deputy node.
+func (c *Composer) extendProbe(out *Outcome, p hopChild, depth, pos int, isSource bool) []hopChild {
+	w := &c.walk
+	sc := &c.scratch
 	fn := w.req.Graph.Functions[pos]
-	candidates := w.lookup(c, fn)
+	candidates := c.lookup(fn)
 	if len(candidates) == 0 {
 		return nil
 	}
-	selected := c.selectCandidates(w, p, pos, candidates)
+	selected := c.selectCandidates(p, pos, candidates)
 	tr := c.env.Tracer
 
-	var children []probeState
+	for len(sc.children) <= depth {
+		sc.children = append(sc.children, nil)
+	}
+	children := sc.children[depth][:0]
 	for i, id := range selected {
 		if w.budget <= 0 {
 			if tr.Enabled() {
 				for _, cut := range selected[i:] {
-					tr.CandidatePruned(w.req.ID, 0, pos, c.env.Catalog.Component(cut).Node, obs.ReasonBudget)
+					tr.CandidatePruned(w.req.ID, 0, p.id, pos, c.env.Catalog.Component(cut).Node, obs.ReasonBudget)
 				}
 			}
 			break
@@ -256,16 +414,16 @@ func (c *Composer) extendProbe(w *walkState, out *Outcome, p probeState, pos int
 		}
 
 		cand := c.env.Catalog.Component(id)
-		routes, linkQoS := c.predecessorRoutes(w, p, pos, cand.Node)
+		routes, linkQoS := c.predecessorRoutes(pos, cand.Node)
 		acc := p.acc.Add(linkQoS).Add(cand.QoS)
 
 		// The probe physically travels from the previous hop's node (the
 		// deputy for the source position).
 		travelFrom := w.req.Client
 		if !isSource {
-			travelFrom = c.env.Catalog.Component(p.comps[w.req.Graph.Predecessors(pos)[0]]).Node
+			travelFrom = c.env.Catalog.Component(sc.cur[sc.preds[pos][0]]).Node
 		}
-		latency := p.latency + w.route(c, travelFrom, cand.Node).QoS.Delay
+		latency := p.latency + c.route(travelFrom, cand.Node).QoS.Delay
 		if latency > w.maxLatency {
 			w.maxLatency = latency
 		}
@@ -282,15 +440,15 @@ func (c *Composer) extendProbe(w *walkState, out *Outcome, p probeState, pos int
 		// states (Eqs. 7-8). Unqualified probes are dropped immediately
 		// to reduce probing overhead.
 		if acc.MaxRatio(w.req.QoSReq) > 1 {
-			tr.CandidatePruned(w.req.ID, pid, pos, cand.Node, obs.ReasonQoS)
+			tr.CandidatePruned(w.req.ID, pid, p.id, pos, cand.Node, obs.ReasonQoS)
 			continue
 		}
 		if cand.Security < w.req.MinSecurity {
-			tr.CandidatePruned(w.req.ID, pid, pos, cand.Node, obs.ReasonSecurity)
+			tr.CandidatePruned(w.req.ID, pid, p.id, pos, cand.Node, obs.ReasonSecurity)
 			continue
 		}
 		if !c.env.Ledger.NodeAvailableFor(w.owner, cand.Node).Covers(w.req.ResReq[pos]) {
-			tr.CandidatePruned(w.req.ID, pid, pos, cand.Node, obs.ReasonResources)
+			tr.CandidatePruned(w.req.ID, pid, p.id, pos, cand.Node, obs.ReasonResources)
 			continue
 		}
 		feasible := true
@@ -301,27 +459,37 @@ func (c *Composer) extendProbe(w *walkState, out *Outcome, p probeState, pos int
 			}
 		}
 		if !feasible {
-			tr.CandidatePruned(w.req.ID, pid, pos, cand.Node, obs.ReasonBandwidth)
+			tr.CandidatePruned(w.req.ID, pid, p.id, pos, cand.Node, obs.ReasonBandwidth)
 			continue
 		}
 
 		// Transient resource allocation (§3.3 step 2): reserve once per
 		// component (tag = position) and per virtual link hop. A probe
-		// that cannot secure its allocation is dropped.
+		// that cannot secure its allocation is dropped — and releases
+		// exactly the holds it newly placed, so a loser's partial
+		// reservation cannot squat on resources that later candidates of
+		// the same request are raw-checked against. Holds created by
+		// sibling probes (idempotent no-ops here) stay untouched.
 		if c.cfg.TransientAllocation {
-			if !c.env.Ledger.HoldNode(w.owner, pos, cand.Node, w.req.ResReq[pos], w.expires) {
-				tr.CandidatePruned(w.req.ID, pid, pos, cand.Node, obs.ReasonHoldNode)
+			okNode, createdNode := c.env.Ledger.HoldNodeTracked(w.owner, pos, cand.Node, w.req.ResReq[pos], w.expires)
+			if !okNode {
+				tr.CandidatePruned(w.req.ID, pid, p.id, pos, cand.Node, obs.ReasonHoldNode)
 				continue
 			}
 			tr.HoldAcquired(w.req.ID, pid, pos, cand.Node)
 			held := true
+			sc.heldLinks = sc.heldLinks[:0]
 			for _, route := range routes {
 				for _, link := range route.Links {
 					// Link holds are tagged by position so distinct
 					// edges of the same request stack correctly.
-					if !c.env.Ledger.HoldLink(w.owner, pos, link, w.req.BandwidthReq, w.expires) {
+					okLink, createdLink := c.env.Ledger.HoldLinkTracked(w.owner, pos, link, w.req.BandwidthReq, w.expires)
+					if !okLink {
 						held = false
 						break
+					}
+					if createdLink {
+						sc.heldLinks = append(sc.heldLinks, link)
 					}
 				}
 				if !held {
@@ -329,16 +497,20 @@ func (c *Composer) extendProbe(w *walkState, out *Outcome, p probeState, pos int
 				}
 			}
 			if !held {
-				tr.CandidatePruned(w.req.ID, pid, pos, cand.Node, obs.ReasonHoldLink)
+				if createdNode {
+					c.env.Ledger.ReleaseNodeHold(w.owner, pos, cand.Node)
+				}
+				for _, link := range sc.heldLinks {
+					c.env.Ledger.ReleaseLinkHold(w.owner, pos, link)
+				}
+				tr.CandidatePruned(w.req.ID, pid, p.id, pos, cand.Node, obs.ReasonHoldLink)
 				continue
 			}
 		}
 
-		comps := make([]component.ComponentID, len(p.comps))
-		copy(comps, p.comps)
-		comps[pos] = id
-		children = append(children, probeState{comps: comps, acc: acc, latency: latency, id: pid})
+		children = append(children, hopChild{choice: id, acc: acc, latency: latency, id: pid})
 	}
+	sc.children[depth] = children
 	return children
 }
 
@@ -347,11 +519,14 @@ func (c *Composer) extendProbe(w *walkState, out *Outcome, p probeState, pos int
 // policies the coarse global state prefilters unqualified candidates
 // (Eqs. 6-8) and ranks survivors by the risk function D (Eq. 9) and the
 // congestion function W (Eq. 10); SelectRandom (RP) picks uniformly
-// without consulting the global state.
-func (c *Composer) selectCandidates(w *walkState, p probeState, pos int, candidates []component.ComponentID) []component.ComponentID {
+// without consulting the global state. The returned slice is scratch,
+// valid until the next selectCandidates call.
+func (c *Composer) selectCandidates(p hopChild, pos int, candidates []component.ComponentID) []component.ComponentID {
 	if c.cfg.Algorithm == AlgOptimal {
 		return candidates
 	}
+	w := &c.walk
+	sc := &c.scratch
 	m := int(math.Ceil(c.cfg.ProbingRatio * float64(len(candidates))))
 	if m < 1 {
 		m = 1
@@ -362,42 +537,36 @@ func (c *Composer) selectCandidates(w *walkState, p probeState, pos int, candida
 		if m >= len(candidates) {
 			return candidates
 		}
-		picked := make([]component.ComponentID, len(candidates))
-		copy(picked, candidates)
+		picked := append(sc.selected[:0], candidates...)
 		c.env.Rand.Shuffle(len(picked), func(i, j int) { picked[i], picked[j] = picked[j], picked[i] })
 		if tr.Enabled() {
 			for _, cut := range picked[m:] {
-				tr.CandidatePruned(w.req.ID, 0, pos, c.env.Catalog.Component(cut).Node, obs.ReasonRandomRank)
+				tr.CandidatePruned(w.req.ID, 0, p.id, pos, c.env.Catalog.Component(cut).Node, obs.ReasonRandomRank)
 			}
 		}
+		sc.selected = picked
 		return picked[:m]
 	}
 
-	type ranked struct {
-		id   component.ComponentID
-		node int
-		risk float64
-		cong float64
-	}
-	qualified := make([]ranked, 0, len(candidates))
+	qualified := sc.ranked[:0]
 	for _, id := range candidates {
 		cand := c.env.Catalog.Component(id)
 		if cand.Security < w.req.MinSecurity {
-			tr.CandidatePruned(w.req.ID, 0, pos, cand.Node, obs.ReasonSecurity)
+			tr.CandidatePruned(w.req.ID, 0, p.id, pos, cand.Node, obs.ReasonSecurity)
 			continue
 		}
-		routes, linkQoS := c.predecessorRoutes(w, p, pos, cand.Node)
+		routes, linkQoS := c.predecessorRoutes(pos, cand.Node)
 
 		// Coarse-grain qualification (Eqs. 6-8) from the global state.
 		acc := p.acc.Add(linkQoS).Add(cand.QoS)
 		risk := acc.MaxRatio(w.req.QoSReq)
 		if risk > 1 {
-			tr.CandidatePruned(w.req.ID, 0, pos, cand.Node, obs.ReasonQoS)
+			tr.CandidatePruned(w.req.ID, 0, p.id, pos, cand.Node, obs.ReasonQoS)
 			continue
 		}
 		avail := c.env.Global.NodeAvailable(cand.Node)
 		if !avail.Covers(w.req.ResReq[pos]) {
-			tr.CandidatePruned(w.req.ID, 0, pos, cand.Node, obs.ReasonResources)
+			tr.CandidatePruned(w.req.ID, 0, p.id, pos, cand.Node, obs.ReasonResources)
 			continue
 		}
 		routeBW := math.Inf(1)
@@ -405,37 +574,45 @@ func (c *Composer) selectCandidates(w *walkState, p probeState, pos int, candida
 			routeBW = math.Min(routeBW, c.env.Global.RouteAvailable(route))
 		}
 		if routeBW < w.req.BandwidthReq {
-			tr.CandidatePruned(w.req.ID, 0, pos, cand.Node, obs.ReasonBandwidth)
+			tr.CandidatePruned(w.req.ID, 0, p.id, pos, cand.Node, obs.ReasonBandwidth)
 			continue
 		}
 
 		// Congestion function W (Eq. 10) on coarse residuals.
 		cong := qos.CongestionTerm(w.req.ResReq[pos], avail.Sub(w.req.ResReq[pos])) +
 			qos.BandwidthCongestionTerm(w.req.BandwidthReq, routeBW-w.req.BandwidthReq)
-		qualified = append(qualified, ranked{id: id, node: cand.Node, risk: risk, cong: cong})
+		qualified = append(qualified, rankedCand{id: id, node: cand.Node, risk: risk, cong: cong})
 	}
+	sc.ranked = qualified
 	if len(qualified) <= m {
-		out := make([]component.ComponentID, len(qualified))
-		for i, q := range qualified {
-			out[i] = q.id
+		out := sc.selected[:0]
+		for i := range qualified {
+			out = append(out, qualified[i].id)
 		}
+		sc.selected = out
 		return out
 	}
 
-	less := c.rankLess()
-	sort.SliceStable(qualified, func(i, j int) bool {
-		return less(qualified[i].risk, qualified[i].cong, qualified[j].risk, qualified[j].cong)
-	})
+	// Stable insertion sort on the scratch buffer: candidate lists are a
+	// handful of entries, and this matches sort.SliceStable's behaviour
+	// at these sizes (which is insertion sort for short runs) without
+	// its interface and closure allocations.
+	for i := 1; i < len(qualified); i++ {
+		for j := i; j > 0 && c.candLess(qualified[j].risk, qualified[j].cong, qualified[j-1].risk, qualified[j-1].cong); j-- {
+			qualified[j], qualified[j-1] = qualified[j-1], qualified[j]
+		}
+	}
 	if tr.Enabled() {
 		for _, cut := range qualified[m:] {
-			tr.CandidatePruned(w.req.ID, 0, pos, cut.node,
+			tr.CandidatePruned(w.req.ID, 0, p.id, pos, cut.node,
 				rankCutReason(c.cfg.Selection, cut.risk, qualified[m-1].risk))
 		}
 	}
-	out := make([]component.ComponentID, m)
+	out := sc.selected[:0]
 	for i := 0; i < m; i++ {
-		out[i] = qualified[i].id
+		out = append(out, qualified[i].id)
 	}
+	sc.selected = out
 	return out
 }
 
@@ -458,67 +635,89 @@ func rankCutReason(sel SelectionPolicy, cutRisk, lastKeptRisk float64) obs.Reaso
 	}
 }
 
-// rankLess returns the comparison for the configured selection policy.
-// The paper compares risk values first and falls back to the congestion
-// function when risks are similar; "similar" is a 5% relative band.
-func (c *Composer) rankLess() func(ri, ci, rj, cj float64) bool {
+// candLess compares two ranked candidates under the configured selection
+// policy. The paper compares risk values first and falls back to the
+// congestion function when risks are similar; "similar" is a 5% relative
+// band.
+func (c *Composer) candLess(ri, ci, rj, cj float64) bool {
 	const band = 0.05
 	switch c.cfg.Selection {
 	case SelectRiskOnly:
-		return func(ri, _, rj, _ float64) bool { return ri < rj }
+		return ri < rj
 	case SelectCongestionOnly:
-		return func(_, ci, _, cj float64) bool { return ci < cj }
+		return ci < cj
 	default: // SelectRiskThenCongestion
-		return func(ri, ci, rj, cj float64) bool {
-			if math.Abs(ri-rj) > band*math.Max(ri, rj) {
-				return ri < rj
-			}
-			return ci < cj
+		if math.Abs(ri-rj) > band*math.Max(ri, rj) {
+			return ri < rj
 		}
+		return ci < cj
 	}
+}
+
+// rankLess returns the comparison for the configured selection policy as
+// a standalone function (tests exercise the policy through this).
+func (c *Composer) rankLess() func(ri, ci, rj, cj float64) bool {
+	return c.candLess
 }
 
 // selectBest evaluates complete probes against the constraints
 // (Eqs. 2-5) using precise probed state and returns the winner: the
 // phi-minimal qualified composition for ACP/Optimal/RP, or a random
-// qualified one for SP. It also reports how many probes qualified.
-func (c *Composer) selectBest(w *walkState, complete []probeState) (*Composition, int) {
+// qualified one for SP. It also reports how many probes qualified. The
+// winner is deep-copied out of the evaluation scratch, so it stays valid
+// across later walks.
+func (c *Composer) selectBest(complete []probeState) (*Composition, int) {
 	var (
 		best      *Composition
 		qualified int
 	)
-	for _, p := range complete {
-		comp, ok := c.evaluate(w, p.comps)
+	for i := range complete {
+		comp, ok := c.evaluate(complete[i].comps)
 		if !ok {
 			continue
 		}
 		qualified++
+		take := false
 		switch {
 		case best == nil:
-			best = comp
+			take = true
 		case c.cfg.Algorithm == AlgSP:
 			// Reservoir-sample uniformly among qualified compositions.
-			if c.env.Rand.Intn(qualified) == 0 {
-				best = comp
-			}
+			take = c.env.Rand.Intn(qualified) == 0
 		case comp.Phi < best.Phi:
+			take = true
+		}
+		if take {
 			best = comp
+			c.scratch.evalIdx ^= 1 // protect the winner from the next evaluate
 		}
 	}
-	return best, qualified
+	if best == nil {
+		return nil, qualified
+	}
+	return &Composition{
+		Components: append([]component.ComponentID(nil), best.Components...),
+		Routes:     append([]overlay.Route(nil), best.Routes...),
+		QoS:        best.QoS,
+		Phi:        best.Phi,
+	}, qualified
 }
 
 // evaluate builds the full composition for an assignment and checks the
 // optimization constraints: function coverage is structural (Eq. 2), the
 // aggregated QoS must satisfy the requirement (Eq. 3), and residual node
 // resources and link bandwidths must stay non-negative (Eqs. 4-5)
-// against the request's own-credited precise availability.
-func (c *Composer) evaluate(w *walkState, assign []component.ComponentID) (*Composition, bool) {
-	req := w.req
-	comp := &Composition{
-		Components: assign,
-		Routes:     make([]overlay.Route, len(req.Graph.Edges)),
-	}
+// against the request's own-credited precise availability. The returned
+// composition lives in the double-buffered evaluation scratch: it is
+// valid until the buffer is flipped twice (selectBest flips on keep).
+func (c *Composer) evaluate(assign []component.ComponentID) (*Composition, bool) {
+	req := c.walk.req
+	sc := &c.scratch
+	comp := &sc.evalBuf[sc.evalIdx]
+	comp.Components = assign
+	comp.Routes = comp.Routes[:0]
+	comp.QoS = qos.Vector{}
+	comp.Phi = 0
 	for _, id := range assign {
 		chosen := c.env.Catalog.Component(id)
 		if chosen.Security < req.MinSecurity {
@@ -526,25 +725,26 @@ func (c *Composer) evaluate(w *walkState, assign []component.ComponentID) (*Comp
 		}
 		comp.QoS = comp.QoS.Add(chosen.QoS)
 	}
-	for i, e := range req.Graph.Edges {
+	for _, e := range req.Graph.Edges {
 		from := c.env.Catalog.Component(assign[e.From]).Node
 		to := c.env.Catalog.Component(assign[e.To]).Node
-		route := w.route(c, from, to)
-		comp.Routes[i] = route
+		route := c.route(from, to)
+		comp.Routes = append(comp.Routes, route)
 		comp.QoS = comp.QoS.Add(route.QoS)
 	}
 	if comp.QoS.MaxRatio(req.QoSReq) > 1 {
 		return nil, false
 	}
 
-	nodes, links := c.demands(req, comp)
-	for node, demand := range nodes {
-		if !c.env.Ledger.NodeAvailableFor(w.owner, node).Covers(demand) {
+	nodes, links := c.accumulateDemands(req, assign, comp.Routes)
+	owner := c.walk.owner
+	for _, nd := range nodes {
+		if !c.env.Ledger.NodeAvailableFor(owner, nd.node).Covers(nd.amount) {
 			return nil, false
 		}
 	}
-	for link, bw := range links {
-		if c.env.Ledger.LinkAvailableFor(w.owner, link) < bw {
+	for _, ld := range links {
+		if c.env.Ledger.LinkAvailableFor(owner, ld.link) < ld.bw {
 			return nil, false
 		}
 	}
@@ -552,19 +752,116 @@ func (c *Composer) evaluate(w *walkState, assign []component.ComponentID) (*Comp
 	return comp, true
 }
 
+// accumulateDemands folds a composition into per-node resource and
+// per-overlay-link bandwidth demand slices. Components of the same
+// request sharing a node stack their requirements (footnote 5); virtual
+// links sharing an overlay link stack their bandwidth; co-located
+// virtual links consume nothing (footnote 4). The slices are scratch,
+// valid until the next call; entries appear in first-seen order, which
+// keeps every downstream float summation deterministic.
+func (c *Composer) accumulateDemands(req *component.Request, comps []component.ComponentID, routes []overlay.Route) ([]nodeDemand, []linkDemand) {
+	sc := &c.scratch
+	nodes := sc.nodeDemands[:0]
+	for pos, id := range comps {
+		node := c.env.Catalog.Component(id).Node
+		found := false
+		for i := range nodes {
+			if nodes[i].node == node {
+				nodes[i].amount = nodes[i].amount.Add(req.ResReq[pos])
+				found = true
+				break
+			}
+		}
+		if !found {
+			nodes = append(nodes, nodeDemand{node: node, amount: req.ResReq[pos]})
+		}
+	}
+	links := sc.linkDemands[:0]
+	for _, route := range routes {
+		if route.CoLocated {
+			continue
+		}
+		for _, link := range route.Links {
+			found := false
+			for i := range links {
+				if links[i].link == link {
+					links[i].bw += req.BandwidthReq
+					found = true
+					break
+				}
+			}
+			if !found {
+				links = append(links, linkDemand{link: link, bw: req.BandwidthReq})
+			}
+		}
+	}
+	sc.nodeDemands, sc.linkDemands = nodes, links
+	return nodes, links
+}
+
+// phi computes the congestion aggregation metric (Eq. 1) for a candidate
+// assignment against owner-credited precise availability: each component
+// contributes sum_k r_k/(rr_k + r_k) with rr the node's residual after
+// ALL of this request's placements there (footnote 5), and each virtual
+// link contributes b/(rb + b) with rb the bottleneck residual bandwidth
+// after this request's reservations (0 for co-located links, footnote 8).
+func (c *Composer) phi(req *component.Request, comps []component.ComponentID, routes []overlay.Route,
+	nodes []nodeDemand, links []linkDemand) float64 {
+
+	owner := state.Owner(req.ID)
+	sc := &c.scratch
+	residuals := sc.residuals[:0]
+	for _, nd := range nodes {
+		residuals = append(residuals, c.env.Ledger.NodeAvailableFor(owner, nd.node).Sub(nd.amount))
+	}
+	sc.residuals = residuals
+	total := 0.0
+	for pos, id := range comps {
+		node := c.env.Catalog.Component(id).Node
+		var residual qos.Resources
+		for i := range nodes {
+			if nodes[i].node == node {
+				residual = residuals[i]
+				break
+			}
+		}
+		total += qos.CongestionTerm(req.ResReq[pos], residual)
+	}
+	for _, route := range routes {
+		residual := math.Inf(1)
+		if !route.CoLocated {
+			for _, link := range route.Links {
+				demand := 0.0
+				for i := range links {
+					if links[i].link == link {
+						demand = links[i].bw
+						break
+					}
+				}
+				r := c.env.Ledger.LinkAvailableFor(owner, link) - demand
+				residual = math.Min(residual, r)
+			}
+		}
+		total += qos.BandwidthCongestionTerm(req.BandwidthReq, residual)
+	}
+	return total
+}
+
 // probeDirect implements the Random and Static heuristics: choose one
 // candidate per position outright, verify the composition with a single
 // probe along it, and use it if qualified.
 func (c *Composer) probeDirect(req *component.Request) (*Outcome, error) {
-	w := c.newWalkState(req)
+	c.beginWalk(req)
+	w := &c.walk
+	sc := &c.scratch
 	out := &Outcome{Request: req}
 	tr := c.env.Tracer
 	tr.RequestReceived(req.ID, req.Client)
 
 	n := req.Graph.NumPositions()
-	assign := make([]component.ComponentID, n)
+	assign := sc.cur
 	for pos := 0; pos < n; pos++ {
-		candidates := w.lookup(c, req.Graph.Functions[pos])
+		candidates := c.lookup(req.Graph.Functions[pos])
 		if len(candidates) == 0 {
 			tr.Decided(req.ID, req.Client, obs.ReasonNoComposition)
 			return out, nil
@@ -586,7 +883,7 @@ func (c *Composer) probeDirect(req *component.Request) (*Outcome, error) {
 	var lastPid int64
 	for pos, id := range assign {
 		node := c.env.Catalog.Component(id).Node
-		latency += w.route(c, prev, node).QoS.Delay
+		latency += c.route(prev, node).QoS.Delay
 		prev = node
 		if tr.Enabled() {
 			pid := tr.NextProbeID()
@@ -598,7 +895,7 @@ func (c *Composer) probeDirect(req *component.Request) (*Outcome, error) {
 			}
 		}
 	}
-	latency += w.route(c, prev, req.Client).QoS.Delay
+	latency += c.route(prev, req.Client).QoS.Delay
 	if lastPid != 0 {
 		tr.ProbeReturned(req.ID, lastPid, prev, latency)
 	}
@@ -607,10 +904,17 @@ func (c *Composer) probeDirect(req *component.Request) (*Outcome, error) {
 	out.PathsReturned = 1
 	out.Latency = 2 * time.Duration(w.maxLatency*float64(time.Millisecond))
 
-	comp, ok := c.evaluate(w, assign)
+	scratchComp, ok := c.evaluate(assign)
 	if !ok {
 		tr.Decided(req.ID, req.Client, obs.ReasonNoComposition)
 		return out, nil
+	}
+	// Copy the winner out of the evaluation scratch before returning it.
+	comp := &Composition{
+		Components: append([]component.ComponentID(nil), scratchComp.Components...),
+		Routes:     append([]overlay.Route(nil), scratchComp.Routes...),
+		QoS:        scratchComp.QoS,
+		Phi:        scratchComp.Phi,
 	}
 	if c.cfg.TransientAllocation {
 		// The verification probe transiently reserves what it visits so

@@ -465,7 +465,7 @@ func (n *node) onCompose(msg composeMsg) {
 
 	sent := n.fanOut(msg.req, order, 0,
 		make([]component.ComponentID, msg.req.Graph.NumPositions()),
-		qos.Vector{}, nil, alpha)
+		qos.Vector{}, nil, alpha, 0)
 	if sent == 0 {
 		delete(n.pending, msg.req.ID)
 		n.c.tracer.Decided(msg.req.ID, n.id, obs.ReasonNoComposition)
@@ -480,12 +480,14 @@ func (n *node) onCompose(msg composeMsg) {
 }
 
 // fanOut selects candidates for position order[idx] and sends one probe
-// to each chosen candidate's host, returning how many were sent.
+// to each chosen candidate's host, returning how many were sent. parent
+// is the span of the probe being extended (0 at the deputy's first hop);
+// selection prunes are attributed to it.
 func (n *node) fanOut(req *component.Request, order []int, idx int,
 	assign []component.ComponentID, acc qos.Vector, avails []qos.Resources,
-	alpha float64) int {
+	alpha float64, parent int64) int {
 
-	selected := n.selectCandidates(req, order, idx, assign, acc, alpha)
+	selected := n.selectCandidates(req, order, idx, assign, acc, alpha, parent)
 	tr := n.c.tracer
 	sent := 0
 	for _, id := range selected {
@@ -521,7 +523,7 @@ func (n *node) fanOut(req *component.Request, order []int, idx int,
 // the QoS risk bound and the view's resource/bandwidth states, rank by
 // risk then congestion, and keep ceil(alpha*k).
 func (n *node) selectCandidates(req *component.Request, order []int, idx int,
-	assign []component.ComponentID, acc qos.Vector, alpha float64) []component.ComponentID {
+	assign []component.ComponentID, acc qos.Vector, alpha float64, parent int64) []component.ComponentID {
 
 	pos := order[idx]
 	candidates := n.c.catalog.Candidates(req.Graph.Functions[pos])
@@ -547,23 +549,23 @@ func (n *node) selectCandidates(req *component.Request, order []int, idx int,
 			continue
 		}
 		if cand.Security < req.MinSecurity {
-			tr.CandidatePruned(req.ID, 0, pos, cand.Node, obs.ReasonSecurity)
+			tr.CandidatePruned(req.ID, 0, parent, pos, cand.Node, obs.ReasonSecurity)
 			continue
 		}
 		linkQoS, routeBW := n.predecessorLinks(req, pos, assign, cand.Node)
 		candAcc := acc.Add(linkQoS).Add(cand.QoS)
 		risk := candAcc.MaxRatio(req.QoSReq)
 		if risk > 1 {
-			tr.CandidatePruned(req.ID, 0, pos, cand.Node, obs.ReasonQoS)
+			tr.CandidatePruned(req.ID, 0, parent, pos, cand.Node, obs.ReasonQoS)
 			continue
 		}
 		avail := n.view[cand.Node]
 		if !avail.Covers(req.ResReq[pos]) {
-			tr.CandidatePruned(req.ID, 0, pos, cand.Node, obs.ReasonResources)
+			tr.CandidatePruned(req.ID, 0, parent, pos, cand.Node, obs.ReasonResources)
 			continue
 		}
 		if routeBW < req.BandwidthReq {
-			tr.CandidatePruned(req.ID, 0, pos, cand.Node, obs.ReasonBandwidth)
+			tr.CandidatePruned(req.ID, 0, parent, pos, cand.Node, obs.ReasonBandwidth)
 			continue
 		}
 		cong := qos.CongestionTerm(req.ResReq[pos], avail.Sub(req.ResReq[pos])) +
@@ -585,7 +587,7 @@ func (n *node) selectCandidates(req *component.Request, order []int, idx int,
 				if math.Abs(cut.risk-qualified[m-1].risk) > band*math.Max(cut.risk, qualified[m-1].risk) {
 					reason = obs.ReasonRiskRank
 				}
-				tr.CandidatePruned(req.ID, 0, pos, cut.node, reason)
+				tr.CandidatePruned(req.ID, 0, parent, pos, cut.node, reason)
 			}
 		}
 		qualified = qualified[:m]
@@ -637,23 +639,23 @@ func (n *node) onProbe(msg probeMsg) {
 	// Precise conformance (Eqs. 6-8) against this node's own state; drop
 	// unqualified probes immediately.
 	if cand.Security < req.MinSecurity {
-		tr.CandidatePruned(req.ID, msg.probe, gpos, n.id, obs.ReasonSecurity)
+		tr.CandidatePruned(req.ID, msg.probe, 0, gpos, n.id, obs.ReasonSecurity)
 		return
 	}
 	if acc.MaxRatio(req.QoSReq) > 1 {
-		tr.CandidatePruned(req.ID, msg.probe, gpos, n.id, obs.ReasonQoS)
+		tr.CandidatePruned(req.ID, msg.probe, 0, gpos, n.id, obs.ReasonQoS)
 		return
 	}
 	if !n.availableFor(req.ID).Covers(req.ResReq[gpos]) {
-		tr.CandidatePruned(req.ID, msg.probe, gpos, n.id, obs.ReasonResources)
+		tr.CandidatePruned(req.ID, msg.probe, 0, gpos, n.id, obs.ReasonResources)
 		return
 	}
 	if routeBW < req.BandwidthReq {
-		tr.CandidatePruned(req.ID, msg.probe, gpos, n.id, obs.ReasonBandwidth)
+		tr.CandidatePruned(req.ID, msg.probe, 0, gpos, n.id, obs.ReasonBandwidth)
 		return
 	}
 	if !n.holdFor(req.ID, gpos, req.ResReq[gpos]) {
-		tr.CandidatePruned(req.ID, msg.probe, gpos, n.id, obs.ReasonHoldNode)
+		tr.CandidatePruned(req.ID, msg.probe, 0, gpos, n.id, obs.ReasonHoldNode)
 		return
 	}
 	tr.HoldAcquired(req.ID, msg.probe, gpos, n.id)
@@ -678,7 +680,7 @@ func (n *node) onProbe(msg probeMsg) {
 		}
 		return
 	}
-	children := n.fanOut(req, order, msg.idx+1, assign, acc, avails, msg.alpha)
+	children := n.fanOut(req, order, msg.idx+1, assign, acc, avails, msg.alpha, msg.probe)
 	tr.ProbeForwarded(req.ID, msg.probe, gpos, n.id, children)
 }
 

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRunConcurrentMatchesSerial: runs are independent — each builds its
+// own engine, ledger, and composer over the shared immutable platform —
+// so the concurrent driver must reproduce the serial results exactly, in
+// input order.
+func TestRunConcurrentMatchesSerial(t *testing.T) {
+	p := smallPlatform(t, 3)
+	algs := []core.Algorithm{core.AlgACP, core.AlgRP, core.AlgSP, core.AlgACP}
+	rcs := make([]RunConfig, len(algs))
+	for i, alg := range algs {
+		rc := shortRun(20)
+		rc.Seed = int64(i + 1)
+		rc.Algorithm = alg
+		rcs[i] = rc
+	}
+
+	serial := make([]*Result, len(rcs))
+	for i, rc := range rcs {
+		r, err := Run(p, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = r
+	}
+	concurrent, err := RunConcurrent(p, rcs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(concurrent) != len(serial) {
+		t.Fatalf("RunConcurrent returned %d results, want %d", len(concurrent), len(serial))
+	}
+	for i := range serial {
+		s, c := serial[i], concurrent[i]
+		if c == nil {
+			t.Fatalf("run %d: nil concurrent result", i)
+		}
+		if s.SuccessRate != c.SuccessRate || s.Requests != c.Requests {
+			t.Errorf("run %d (%s): concurrent admission %v/%d, serial %v/%d",
+				i, algs[i], c.SuccessRate, c.Requests, s.SuccessRate, s.Requests)
+		}
+		if s.OverheadPerMinute != c.OverheadPerMinute {
+			t.Errorf("run %d: overhead %v != %v", i, c.OverheadPerMinute, s.OverheadPerMinute)
+		}
+		if s.PhaseBreakdown != c.PhaseBreakdown {
+			t.Errorf("run %d: phase breakdown %+v != %+v", i, c.PhaseBreakdown, s.PhaseBreakdown)
+		}
+		if !reflect.DeepEqual(s.SuccessSeries, c.SuccessSeries) {
+			t.Errorf("run %d: success series diverged", i)
+		}
+		if s.MeanProbeLatency != c.MeanProbeLatency {
+			t.Errorf("run %d: probe latency %v != %v", i, c.MeanProbeLatency, s.MeanProbeLatency)
+		}
+	}
+
+	// workers <= 0 selects a sensible default rather than failing.
+	again, err := RunConcurrent(p, rcs[:2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].SuccessRate != serial[0].SuccessRate {
+		t.Error("default-worker run diverged from serial")
+	}
+}
+
+// TestFigureParallelMatchesSerial: the figure drivers with Parallel set
+// must fill the same table cells as the serial sweep.
+func TestFigureParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep; skipped in -short")
+	}
+	base := Options{Seed: 5, DurationScale: 0.01, IPNodes: 800}
+	par := base
+	par.Parallel = -1
+
+	serial, err := Figure5a(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Figure5a(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel Figure5a table diverged from serial:\n%+v\nvs\n%+v", parallel, serial)
+	}
+}

@@ -20,6 +20,11 @@ type Options struct {
 	DurationScale float64
 	// IPNodes overrides the IP-layer graph size (default 3200).
 	IPNodes int
+	// Parallel caps how many independent simulation cells run
+	// concurrently within one figure (see RunConcurrent). 0 or 1 keeps
+	// the runs serial; negative selects GOMAXPROCS. Cell results are
+	// identical either way — each cell is a self-contained simulation.
+	Parallel int
 }
 
 func (o Options) normalize() Options {
@@ -33,6 +38,18 @@ func (o Options) normalize() Options {
 		o.IPNodes = 3200
 	}
 	return o
+}
+
+// workers translates the Parallel knob into a RunConcurrent worker count.
+func (o Options) workers() int {
+	switch {
+	case o.Parallel < 0:
+		return 0 // RunConcurrent picks GOMAXPROCS
+	case o.Parallel == 0:
+		return 1
+	default:
+		return o.Parallel
+	}
 }
 
 func (o Options) duration(full time.Duration) time.Duration {
@@ -92,19 +109,25 @@ func Figure5a(o Options) ([]*Table, error) {
 		Title:  "Figure 5(a): success rate (%) vs probing ratio under request rates",
 		Header: []string{"probing ratio", "50 reqs/min", "100 reqs/min"},
 	}
+	var rcs []RunConfig
 	for _, alpha := range alphaGrid {
-		row := []string{fmt.Sprintf("%.2f", alpha)}
 		for _, rate := range rates {
 			rc := DefaultRunConfig(rate)
 			rc.Seed = o.Seed
 			rc.ProbingRatio = alpha
 			rc.Duration = o.duration(100 * time.Minute)
 			rc.MaxProbesPerRequest = probeBudget
-			res, err := Run(p, rc)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmtPct(res.SuccessRate))
+			rcs = append(rcs, rc)
+		}
+	}
+	results, err := RunConcurrent(p, rcs, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	for i, alpha := range alphaGrid {
+		row := []string{fmt.Sprintf("%.2f", alpha)}
+		for j := range rates {
+			row = append(row, fmtPct(results[i*len(rates)+j].SuccessRate))
 		}
 		t.AddRow(row...)
 	}
@@ -126,8 +149,8 @@ func Figure5b(o Options) ([]*Table, error) {
 		Title:  "Figure 5(b): success rate (%) vs probing ratio under QoS requirements",
 		Header: []string{"probing ratio", "low QoS", "high QoS", "very high QoS"},
 	}
+	var rcs []RunConfig
 	for _, alpha := range alphaGrid {
-		row := []string{fmt.Sprintf("%.2f", alpha)}
 		for _, lvl := range levels {
 			rc := DefaultRunConfig(80)
 			rc.Seed = o.Seed
@@ -139,11 +162,17 @@ func Figure5b(o Options) ([]*Table, error) {
 				w.DelayReqPerFunctionMin = 45
 				w.DelayReqPerFunctionMax = 80
 			}
-			res, err := Run(p, rc)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmtPct(res.SuccessRate))
+			rcs = append(rcs, rc)
+		}
+	}
+	results, err := RunConcurrent(p, rcs, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	for i, alpha := range alphaGrid {
+		row := []string{fmt.Sprintf("%.2f", alpha)}
+		for j := range levels {
+			row = append(row, fmtPct(results[i*len(levels)+j].SuccessRate))
 		}
 		t.AddRow(row...)
 	}

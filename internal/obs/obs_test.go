@@ -140,7 +140,7 @@ func TestNilTracerIsNoOpAndAllocationFree(t *testing.T) {
 	allocs := testing.AllocsPerRun(200, func() {
 		tr.RequestReceived(1, 2)
 		tr.ProbeSpawned(1, tr.NextProbeID(), 0, 3, 1.5)
-		tr.CandidatePruned(1, 0, 0, 3, ReasonQoS)
+		tr.CandidatePruned(1, 0, 0, 0, 3, ReasonQoS)
 		tr.HoldAcquired(1, 1, 0, 3)
 		tr.HoldReleased(1, -1)
 		tr.ProbeForwarded(1, 1, 0, 3, 2)
@@ -178,7 +178,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 	tr.RequestReceived(7, 4)
 	p := tr.NextProbeID()
 	tr.ProbeSpawned(7, p, 0, 9, 1.25)
-	tr.CandidatePruned(7, 0, 1, 11, ReasonRiskRank)
+	tr.CandidatePruned(7, 0, p, 1, 11, ReasonRiskRank)
 	tr.HoldAcquired(7, p, 0, 9)
 	tr.ProbeReturned(7, p, 9, 4.5)
 	tr.Decided(7, 4, "")
@@ -194,7 +194,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 	want := []Event{
 		{AtMicros: 1000, Type: EventRequestReceived, Req: 7, Pos: -1, Node: 4},
 		{AtMicros: 2000, Type: EventProbeSpawned, Req: 7, Probe: p, Pos: 0, Node: 9, LatencyMs: 1.25},
-		{AtMicros: 3000, Type: EventCandidatePruned, Req: 7, Pos: 1, Node: 11, Reason: ReasonRiskRank},
+		{AtMicros: 3000, Type: EventCandidatePruned, Req: 7, Parent: p, Pos: 1, Node: 11, Reason: ReasonRiskRank},
 		{AtMicros: 4000, Type: EventHoldAcquired, Req: 7, Probe: p, Pos: 0, Node: 9},
 		{AtMicros: 5000, Type: EventProbeReturned, Req: 7, Probe: p, Pos: -1, Node: 9, LatencyMs: 4.5},
 		{AtMicros: 6000, Type: EventDecided, Req: 7, Pos: -1, Node: 4},

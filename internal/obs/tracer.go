@@ -147,6 +147,12 @@ type Event struct {
 	// Probe is the probe span ID; 0 for request-scoped events and for
 	// prunes that happened before a probe was sent.
 	Probe int64 `json:"probe,omitempty"`
+	// Parent is the span ID of the probe whose hop produced this event,
+	// for events that do not themselves close that span: a ranking or
+	// random-policy cut in per-hop candidate selection carries the
+	// selecting probe's span here (0 at the walk root). Unlike Probe,
+	// a non-zero Parent never closes a span.
+	Parent int64 `json:"parent,omitempty"`
 	// Pos is the function-graph position being probed; -1 when not
 	// applicable.
 	Pos int `json:"pos"`
@@ -289,9 +295,12 @@ func (t *Tracer) ProbeDropped(req, probe int64, pos, node int, reason Reason) {
 
 // CandidatePruned records a rejected candidate. probe is 0 when the
 // prune happened before any probe was sent (coarse prefilter or ranking
-// cut); otherwise it closes that probe's span.
-func (t *Tracer) CandidatePruned(req, probe int64, pos, node int, reason Reason) {
-	t.emit(Event{Type: EventCandidatePruned, Req: req, Probe: probe, Pos: pos, Node: node, Reason: reason})
+// cut); otherwise it closes that probe's span. parent attributes the
+// prune to the span of the probe performing the hop — the selecting
+// parent for pre-send cuts — so summaries can tell a root-level cut from
+// one deep in the walk; 0 when the hop has no live span.
+func (t *Tracer) CandidatePruned(req, probe, parent int64, pos, node int, reason Reason) {
+	t.emit(Event{Type: EventCandidatePruned, Req: req, Probe: probe, Parent: parent, Pos: pos, Node: node, Reason: reason})
 }
 
 // HoldAcquired records a transient node allocation placed for (req, pos).

@@ -1,0 +1,83 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/component"
+)
+
+// TestFindBatchComposesSessions drives concurrent composition through
+// the locked ledger (exercised for data races under -race) and checks
+// every admitted session is fully registered and usable.
+func TestFindBatchComposesSessions(t *testing.T) {
+	c := testCluster(t)
+	graph := component.NewPathGraph([]component.FunctionID{0, 1, 2})
+	qosReq, resReq, bw := easyArgs(3)
+
+	specs := make([]FindSpec, 12)
+	for i := range specs {
+		specs[i] = FindSpec{Graph: graph, QoSReq: qosReq, ResReq: resReq, BandwidthKbps: bw}
+	}
+	results, err := c.FindBatch(specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(results), len(specs))
+	}
+	admitted := 0
+	seen := make(map[SessionID]bool)
+	for i, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		admitted++
+		if r.Session == 0 {
+			t.Fatalf("result %d: admitted with zero session id", i)
+		}
+		if seen[r.Session] {
+			t.Fatalf("duplicate session id %d", r.Session)
+		}
+		seen[r.Session] = true
+		desc, err := c.Describe(r.Session)
+		if err != nil {
+			t.Fatalf("session %d not registered: %v", r.Session, err)
+		}
+		if len(desc.Components) != 3 {
+			t.Fatalf("session %d has %d components", r.Session, len(desc.Components))
+		}
+	}
+	// The cluster is lightly loaded; concurrent contention may reject a
+	// few requests, but most must land.
+	if admitted < len(specs)/2 {
+		t.Fatalf("only %d/%d requests admitted", admitted, len(specs))
+	}
+
+	// Serial Find still works after the ledger switched to locked mode.
+	if _, err := c.Find(graph, qosReq, resReq, bw); err != nil {
+		t.Fatalf("serial Find after FindBatch: %v", err)
+	}
+	for id := range seen {
+		if err := c.Close(id); err != nil {
+			t.Fatalf("close %d: %v", id, err)
+		}
+	}
+}
+
+// TestFindBatchAfterShutdown must fail cleanly.
+func TestFindBatchAfterShutdown(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IPNodes = 256
+	cfg.OverlayNodes = 32
+	cfg.NumFunctions = 8
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	graph := component.NewPathGraph([]component.FunctionID{0, 1})
+	qosReq, resReq, bw := easyArgs(2)
+	if _, err := c.FindBatch([]FindSpec{{Graph: graph, QoSReq: qosReq, ResReq: resReq, BandwidthKbps: bw}}, 2); err == nil {
+		t.Fatal("FindBatch on a shut-down cluster succeeded")
+	}
+}

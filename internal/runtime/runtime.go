@@ -148,6 +148,7 @@ type Cluster struct {
 
 	mu        sync.Mutex
 	ledger    *state.Ledger
+	global    *state.Global
 	composer  *core.Composer
 	rng       *rand.Rand
 	functions map[component.FunctionID]ProcessorFunc
@@ -217,6 +218,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.global = global
 	env := core.Env{
 		Mesh:     mesh,
 		Catalog:  catalog,

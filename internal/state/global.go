@@ -3,6 +3,7 @@ package state
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/metrics"
@@ -51,6 +52,45 @@ type Global struct {
 
 	aggNode  int // rotating aggregation role (§3.2, round robin)
 	counters *metrics.Counters
+
+	// mu, when non-nil, guards the view slices for concurrent readers
+	// against observer-driven updates. The lock order is always ledger
+	// before global: observers fire under the ledger lock and then take
+	// this one, so nothing here may call back into locked ledger methods
+	// while holding it.
+	mu *sync.RWMutex
+}
+
+// EnableLocking makes the global state safe for concurrent use alongside
+// Ledger.EnableLocking. Idempotent; cannot be undone.
+func (g *Global) EnableLocking() {
+	if g.mu == nil {
+		g.mu = new(sync.RWMutex)
+	}
+}
+
+func (g *Global) rlock() {
+	if g.mu != nil {
+		g.mu.RLock()
+	}
+}
+
+func (g *Global) runlock() {
+	if g.mu != nil {
+		g.mu.RUnlock()
+	}
+}
+
+func (g *Global) wlock() {
+	if g.mu != nil {
+		g.mu.Lock()
+	}
+}
+
+func (g *Global) wunlock() {
+	if g.mu != nil {
+		g.mu.Unlock()
+	}
 }
 
 // NewGlobal wires a global state to the ledger and subscribes to its
@@ -86,10 +126,14 @@ func NewGlobal(ledger *Ledger, mesh *overlay.Mesh, cfg GlobalConfig, counters *m
 	return g, nil
 }
 
-// nodeChanged applies the threshold rule after a committed change on node.
+// nodeChanged applies the threshold rule after a committed change on
+// node. It runs under the ledger lock (when enabled), so it reads the
+// ledger through the unlocked internals.
 func (g *Global) nodeChanged(node int) {
-	truth := g.ledger.NodeCommittedAvailable(node)
+	truth := g.ledger.nodeCommittedAvailable(node)
 	capacity := g.ledger.NodeCapacity(node)
+	g.wlock()
+	defer g.wunlock()
 	view := g.nodeView[node]
 	if exceeds(view.CPU, truth.CPU, capacity.CPU, g.cfg.UpdateThreshold) ||
 		exceeds(view.Memory, truth.Memory, capacity.Memory, g.cfg.UpdateThreshold) {
@@ -102,8 +146,10 @@ func (g *Global) nodeChanged(node int) {
 // overlay link. A triggered link update is a report to the aggregation
 // node (one message); dissemination happens at the aggregation period.
 func (g *Global) linkChanged(link int) {
-	truth := g.ledger.LinkCommittedAvailable(link)
+	truth := g.ledger.linkCommittedAvailable(link)
 	capacity := g.ledger.LinkCapacity(link)
+	g.wlock()
+	defer g.wunlock()
 	if exceeds(g.linkView[link], truth, capacity, g.cfg.UpdateThreshold) {
 		g.linkView[link] = truth
 		g.counters.AddStateUpdates(1)
@@ -122,20 +168,30 @@ func exceeds(view, truth, max, threshold float64) bool {
 // aggregation role rotates round-robin over nodes for load sharing and
 // the dissemination counts one message per system node.
 func (g *Global) Aggregate() {
+	g.wlock()
+	defer g.wunlock()
 	copy(g.aggView, g.linkView)
 	g.aggNode = (g.aggNode + 1) % g.mesh.NumNodes()
 	g.counters.AddAggregations(int64(g.mesh.NumNodes()))
 }
 
 // AggregationNode returns the node currently holding the aggregation role.
-func (g *Global) AggregationNode() int { return g.aggNode }
+func (g *Global) AggregationNode() int {
+	g.rlock()
+	defer g.runlock()
+	return g.aggNode
+}
 
 // Period returns the configured aggregation period.
 func (g *Global) Period() time.Duration { return g.cfg.AggregationPeriod }
 
 // NodeAvailable returns the coarse-grain view of a node's available
 // resources — possibly stale within the update threshold.
-func (g *Global) NodeAvailable(node int) qos.Resources { return g.nodeView[node] }
+func (g *Global) NodeAvailable(node int) qos.Resources {
+	g.rlock()
+	defer g.runlock()
+	return g.nodeView[node]
+}
 
 // RouteAvailable returns the coarse-grain available bandwidth of a
 // virtual link: the bottleneck over the aggregation snapshot of its
@@ -144,6 +200,8 @@ func (g *Global) RouteAvailable(r overlay.Route) float64 {
 	if r.CoLocated {
 		return math.Inf(1)
 	}
+	g.rlock()
+	defer g.runlock()
 	avail := math.Inf(1)
 	for _, id := range r.Links {
 		avail = math.Min(avail, g.aggView[id])
@@ -153,13 +211,20 @@ func (g *Global) RouteAvailable(r overlay.Route) float64 {
 
 // ForceRefresh resets every reported value to the current truth, as if
 // every threshold fired. The ablation benchmarks use it to emulate a
-// centralized always-fresh global state.
+// centralized always-fresh global state. Ledger reads happen before the
+// global lock is taken, preserving the ledger-before-global lock order.
 func (g *Global) ForceRefresh() {
-	for i := range g.nodeView {
-		g.nodeView[i] = g.ledger.NodeCommittedAvailable(i)
+	nodes := make([]qos.Resources, len(g.nodeView))
+	for i := range nodes {
+		nodes[i] = g.ledger.NodeCommittedAvailable(i)
 	}
-	for i := range g.linkView {
-		g.linkView[i] = g.ledger.LinkCommittedAvailable(i)
+	links := make([]float64, len(g.linkView))
+	for i := range links {
+		links[i] = g.ledger.LinkCommittedAvailable(i)
 	}
+	g.wlock()
+	defer g.wunlock()
+	copy(g.nodeView, nodes)
+	copy(g.linkView, links)
 	copy(g.aggView, g.linkView)
 }

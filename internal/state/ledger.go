@@ -8,6 +8,7 @@ package state
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/overlay"
@@ -57,8 +58,10 @@ type sessionAlloc struct {
 // transient holds expire after a timeout unless promoted by a session
 // confirmation, preventing conflicting admissions by concurrent probings.
 //
-// Ledger is not safe for concurrent use; the discrete-event simulator is
-// single-threaded, and the live runtime wraps it in its own locking.
+// By default a Ledger is not safe for concurrent use; the discrete-event
+// simulator is single-threaded. EnableLocking switches on an internal
+// mutex so a concurrent composition driver can share one ledger across
+// worker goroutines; the disabled path costs only a nil check.
 type Ledger struct {
 	now      func() time.Duration
 	nodes    []nodeLedger
@@ -67,6 +70,11 @@ type Ledger struct {
 
 	onNodeChange func(node int)
 	onLinkChange func(link int)
+
+	// mu, when non-nil, serializes every public operation. Change
+	// observers fire with the lock held and must only use the package's
+	// unlocked internals.
+	mu *sync.Mutex
 }
 
 // NewLedger builds a ledger for the mesh with every node given nodeCap
@@ -88,10 +96,32 @@ func NewLedger(mesh *overlay.Mesh, nodeCap qos.Resources, now func() time.Durati
 	return l
 }
 
+// EnableLocking makes the ledger safe for concurrent use by guarding
+// every operation with a mutex. Call before sharing the ledger across
+// goroutines; enabling is idempotent and cannot be undone.
+func (l *Ledger) EnableLocking() {
+	if l.mu == nil {
+		l.mu = new(sync.Mutex)
+	}
+}
+
+func (l *Ledger) lock() {
+	if l.mu != nil {
+		l.mu.Lock()
+	}
+}
+
+func (l *Ledger) unlock() {
+	if l.mu != nil {
+		l.mu.Unlock()
+	}
+}
+
 // SetChangeObservers registers callbacks fired after a node's or link's
 // committed allocation changes. The global state subscribes here to apply
 // its threshold-triggered update rule. Transient holds do not fire the
 // observers: they are short-lived local state, never disseminated (§3.2).
+// When locking is enabled the callbacks run with the ledger lock held.
 func (l *Ledger) SetChangeObservers(onNode func(int), onLink func(int)) {
 	l.onNodeChange = onNode
 	l.onLinkChange = onLink
@@ -148,6 +178,12 @@ func (l *Ledger) purgeLink(link int) {
 // precise local state a probe reads at the node itself — capacity minus
 // committed sessions minus live transient holds.
 func (l *Ledger) NodeAvailable(node int) qos.Resources {
+	l.lock()
+	defer l.unlock()
+	return l.nodeAvailable(node)
+}
+
+func (l *Ledger) nodeAvailable(node int) qos.Resources {
 	l.purgeNode(node)
 	n := &l.nodes[node]
 	return n.capacity.Sub(n.committed).Sub(n.held)
@@ -157,12 +193,24 @@ func (l *Ledger) NodeAvailable(node int) qos.Resources {
 // ignoring transient holds. This is what the coarse global state
 // disseminates, since holds are never reported beyond the local node.
 func (l *Ledger) NodeCommittedAvailable(node int) qos.Resources {
+	l.lock()
+	defer l.unlock()
+	return l.nodeCommittedAvailable(node)
+}
+
+func (l *Ledger) nodeCommittedAvailable(node int) qos.Resources {
 	n := &l.nodes[node]
 	return n.capacity.Sub(n.committed)
 }
 
 // LinkAvailable returns the link's precise available bandwidth.
 func (l *Ledger) LinkAvailable(link int) float64 {
+	l.lock()
+	defer l.unlock()
+	return l.linkAvailable(link)
+}
+
+func (l *Ledger) linkAvailable(link int) float64 {
 	l.purgeLink(link)
 	lk := &l.links[link]
 	return lk.capacity - lk.committed - lk.held
@@ -171,6 +219,12 @@ func (l *Ledger) LinkAvailable(link int) float64 {
 // LinkCommittedAvailable returns capacity minus committed bandwidth,
 // ignoring transient holds.
 func (l *Ledger) LinkCommittedAvailable(link int) float64 {
+	l.lock()
+	defer l.unlock()
+	return l.linkCommittedAvailable(link)
+}
+
+func (l *Ledger) linkCommittedAvailable(link int) float64 {
 	lk := &l.links[link]
 	return lk.capacity - lk.committed
 }
@@ -182,9 +236,11 @@ func (l *Ledger) RouteAvailable(r overlay.Route) float64 {
 	if r.CoLocated {
 		return math.Inf(1)
 	}
+	l.lock()
+	defer l.unlock()
 	avail := math.Inf(1)
 	for _, id := range r.Links {
-		avail = math.Min(avail, l.LinkAvailable(id))
+		avail = math.Min(avail, l.linkAvailable(id))
 	}
 	return avail
 }
@@ -197,37 +253,89 @@ func (l *Ledger) RouteAvailable(r overlay.Route) float64 {
 // and tag — another concurrent probe of the same request visiting the
 // same component — is a no-op success.
 func (l *Ledger) HoldNode(owner Owner, tag, node int, amount qos.Resources, expires time.Duration) bool {
+	ok, _ := l.HoldNodeTracked(owner, tag, node, amount, expires)
+	return ok
+}
+
+// HoldNodeTracked is HoldNode, additionally reporting whether this call
+// created a new hold: created is false both on failure and when an
+// existing (owner, tag) hold made the call an idempotent no-op. Callers
+// that must undo a partially-placed reservation release exactly the
+// holds they created, leaving holds placed by sibling probes intact.
+func (l *Ledger) HoldNodeTracked(owner Owner, tag, node int, amount qos.Resources, expires time.Duration) (ok, created bool) {
+	l.lock()
+	defer l.unlock()
 	l.purgeNode(node)
 	n := &l.nodes[node]
 	for _, h := range n.holds {
 		if h.owner == owner && h.tag == tag {
-			return true
+			return true, false
 		}
 	}
 	if !n.capacity.Sub(n.committed).Sub(n.held).Covers(amount) {
-		return false
+		return false, false
 	}
 	n.holds = append(n.holds, nodeHold{owner: owner, tag: tag, amount: amount, expires: expires})
 	n.held = n.held.Add(amount)
-	return true
+	return true, true
 }
 
 // HoldLink places a transient bandwidth allocation on an overlay link.
 // Like HoldNode it is idempotent per (owner, tag).
 func (l *Ledger) HoldLink(owner Owner, tag, link int, amount float64, expires time.Duration) bool {
+	ok, _ := l.HoldLinkTracked(owner, tag, link, amount, expires)
+	return ok
+}
+
+// HoldLinkTracked is HoldLink, additionally reporting whether this call
+// created a new hold (see HoldNodeTracked).
+func (l *Ledger) HoldLinkTracked(owner Owner, tag, link int, amount float64, expires time.Duration) (ok, created bool) {
+	l.lock()
+	defer l.unlock()
 	l.purgeLink(link)
 	lk := &l.links[link]
 	for _, h := range lk.holds {
 		if h.owner == owner && h.tag == tag {
-			return true
+			return true, false
 		}
 	}
 	if lk.capacity-lk.committed-lk.held < amount {
-		return false
+		return false, false
 	}
 	lk.holds = append(lk.holds, linkHold{owner: owner, tag: tag, amount: amount, expires: expires})
 	lk.held += amount
-	return true
+	return true, true
+}
+
+// ReleaseNodeHold cancels owner's tag hold on the node, if present. A
+// probe that fails mid-reservation uses this to return exactly what it
+// placed instead of leaking the partial holds until ReleaseOwner.
+func (l *Ledger) ReleaseNodeHold(owner Owner, tag, node int) {
+	l.lock()
+	defer l.unlock()
+	n := &l.nodes[node]
+	for i, h := range n.holds {
+		if h.owner == owner && h.tag == tag {
+			n.held = n.held.Sub(h.amount)
+			n.holds = append(n.holds[:i], n.holds[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReleaseLinkHold cancels owner's tag hold on the overlay link, if
+// present.
+func (l *Ledger) ReleaseLinkHold(owner Owner, tag, link int) {
+	l.lock()
+	defer l.unlock()
+	lk := &l.links[link]
+	for i, h := range lk.holds {
+		if h.owner == owner && h.tag == tag {
+			lk.held -= h.amount
+			lk.holds = append(lk.holds[:i], lk.holds[i+1:]...)
+			return
+		}
+	}
 }
 
 // NodeAvailableFor returns the node's available resources from owner's
@@ -235,7 +343,9 @@ func (l *Ledger) HoldLink(owner Owner, tag, link int, amount float64, expires ti
 // credited back. The deputy evaluates candidate compositions with this
 // view so a request is not blocked by its own reservations.
 func (l *Ledger) NodeAvailableFor(owner Owner, node int) qos.Resources {
-	avail := l.NodeAvailable(node)
+	l.lock()
+	defer l.unlock()
+	avail := l.nodeAvailable(node)
 	for _, h := range l.nodes[node].holds {
 		if h.owner == owner {
 			avail = avail.Add(h.amount)
@@ -247,7 +357,13 @@ func (l *Ledger) NodeAvailableFor(owner Owner, node int) qos.Resources {
 // LinkAvailableFor returns the link's available bandwidth with owner's
 // own holds credited back.
 func (l *Ledger) LinkAvailableFor(owner Owner, link int) float64 {
-	avail := l.LinkAvailable(link)
+	l.lock()
+	defer l.unlock()
+	return l.linkAvailableFor(owner, link)
+}
+
+func (l *Ledger) linkAvailableFor(owner Owner, link int) float64 {
+	avail := l.linkAvailable(link)
 	for _, h := range l.links[link].holds {
 		if h.owner == owner {
 			avail += h.amount
@@ -262,9 +378,11 @@ func (l *Ledger) RouteAvailableFor(owner Owner, r overlay.Route) float64 {
 	if r.CoLocated {
 		return math.Inf(1)
 	}
+	l.lock()
+	defer l.unlock()
 	avail := math.Inf(1)
 	for _, id := range r.Links {
-		avail = math.Min(avail, l.LinkAvailableFor(owner, id))
+		avail = math.Min(avail, l.linkAvailableFor(owner, id))
 	}
 	return avail
 }
@@ -273,6 +391,12 @@ func (l *Ledger) RouteAvailableFor(owner Owner, r overlay.Route) float64 {
 // all nodes and links. The deputy calls this once a composition decision
 // has been made; unreleased holds die by timeout anyway.
 func (l *Ledger) ReleaseOwner(owner Owner) {
+	l.lock()
+	defer l.unlock()
+	l.releaseOwner(owner)
+}
+
+func (l *Ledger) releaseOwner(owner Owner) {
 	for i := range l.nodes {
 		n := &l.nodes[i]
 		kept := n.holds[:0]
@@ -306,17 +430,19 @@ func (l *Ledger) ReleaseOwner(owner Owner) {
 // transient holds stay released — the request has failed and the paper's
 // protocol would let them time out regardless.
 func (l *Ledger) CommitSession(owner Owner, nodes map[int]qos.Resources, links map[int]float64) error {
+	l.lock()
+	defer l.unlock()
 	if _, ok := l.sessions[owner]; ok {
 		return fmt.Errorf("state: session %d already committed", owner)
 	}
-	l.ReleaseOwner(owner)
+	l.releaseOwner(owner)
 	for node, amount := range nodes {
-		if !l.NodeAvailable(node).Covers(amount) {
+		if !l.nodeAvailable(node).Covers(amount) {
 			return fmt.Errorf("state: node %d cannot cover %v", node, amount)
 		}
 	}
 	for link, bw := range links {
-		if l.LinkAvailable(link) < bw {
+		if l.linkAvailable(link) < bw {
 			return fmt.Errorf("state: link %d cannot cover %.1f kbps", link, bw)
 		}
 	}
@@ -338,6 +464,8 @@ func (l *Ledger) CommitSession(owner Owner, nodes map[int]qos.Resources, links m
 // ReleaseSession frees a committed session's resources when the
 // application closes (§2.2 Close). Unknown sessions are ignored.
 func (l *Ledger) ReleaseSession(owner Owner) {
+	l.lock()
+	defer l.unlock()
 	alloc, ok := l.sessions[owner]
 	if !ok {
 		return
@@ -354,7 +482,11 @@ func (l *Ledger) ReleaseSession(owner Owner) {
 }
 
 // ActiveSessions returns the number of committed sessions.
-func (l *Ledger) ActiveSessions() int { return len(l.sessions) }
+func (l *Ledger) ActiveSessions() int {
+	l.lock()
+	defer l.unlock()
+	return len(l.sessions)
+}
 
 func (l *Ledger) notifyNode(node int) {
 	if l.onNodeChange != nil {
@@ -373,6 +505,8 @@ func (l *Ledger) notifyLink(link int) {
 // equal the sum of session allocations, and nothing exceeds capacity.
 // Tests call it after stochastic operation sequences.
 func (l *Ledger) CheckInvariants() error {
+	l.lock()
+	defer l.unlock()
 	committedNodes := make([]qos.Resources, len(l.nodes))
 	committedLinks := make([]float64, len(l.links))
 	for owner, alloc := range l.sessions {
