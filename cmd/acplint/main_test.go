@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixtureModuleFindings runs the multichecker standalone over the
+// deliberately broken fixture module and asserts on the exit status and
+// the diagnostics it prints.
+func TestFixtureModuleFindings(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run("testdata/fixmod", []string{"./..."}, &out, &errb)
+	if code != exitDiagnostics {
+		t.Fatalf("exit = %d, want %d (stdout %q, stderr %q)", code, exitDiagnostics, out.String(), errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"time.Now reads the wall clock",
+		"append to non-scratch destination out",
+		"[acpdeterminism]",
+		"[acphotpath]",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stdout missing %q:\n%s", want, got)
+		}
+	}
+	if n := strings.Count(got, "\n"); n != 2 {
+		t.Errorf("want exactly 2 diagnostics, got %d:\n%s", n, got)
+	}
+}
+
+// TestRepoClean is the merge gate in miniature: the analyzer suite must
+// exit 0 over the entire repository.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	var out, errb bytes.Buffer
+	code := run("../..", []string{"./..."}, &out, &errb)
+	if code != exitClean {
+		t.Fatalf("acplint over the repo: exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(".", []string{"-V=full"}, &out, &errb)
+	if code != exitClean {
+		t.Fatalf("exit = %d, stderr %q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), " version devel buildID=") {
+		t.Errorf("version line malformed: %q", out.String())
+	}
+}
+
+// TestVetTool builds the real binary and drives it through
+// `go vet -vettool` over the fixture module, exercising the vet.cfg
+// unitchecker protocol end to end.
+func TestVetTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the acplint binary")
+	}
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "acplint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/acplint")
+	build.Dir = repoRoot
+	if outb, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building acplint: %v\n%s", err, outb)
+	}
+
+	fixmod, err := filepath.Abs("testdata/fixmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = fixmod
+	outb, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool succeeded on the broken fixture:\n%s", outb)
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("go vet did not run: %v\n%s", err, outb)
+	}
+	got := string(outb)
+	for _, want := range []string{"time.Now reads the wall clock", "append to non-scratch destination out"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("vet output missing %q:\n%s", want, got)
+		}
+	}
+	// go vet analyzes test packages too; the determinism analyzer must
+	// exempt test files (compose_test.go also calls time.Now).
+	if strings.Contains(got, "compose_test.go") {
+		t.Errorf("vet flagged a _test.go file:\n%s", got)
+	}
+
+	// The clean path: vetting only the file set with no violations.
+	clean := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	clean.Dir = cleanModule(t)
+	if outb, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed on a clean module: %v\n%s", err, outb)
+	}
+}
+
+// cleanModule materialises a tiny violation-free module in a temp dir.
+func cleanModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module cleanmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "core", "core.go"),
+		"package core\n\n// Sum is deterministic and allocation-free.\nfunc Sum(vals []int) int {\n\tn := 0\n\tfor _, v := range vals {\n\t\tn += v\n\t}\n\treturn n\n}\n")
+	return dir
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

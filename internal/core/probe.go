@@ -174,6 +174,8 @@ func (c *Composer) beginWalk(req *component.Request) {
 
 // lookup resolves a function's candidates, caching per request so the
 // discovery system is charged once per function (§3.3 step 2).
+//
+//acp:hotpath
 func (c *Composer) lookup(f component.FunctionID) []component.ComponentID {
 	sc := &c.scratch
 	if int(f) < 0 || int(f) >= len(sc.cands) {
@@ -193,6 +195,8 @@ func (c *Composer) lookup(f component.FunctionID) []component.ComponentID {
 // composer-lifetime cache: probe trees revisit the same node pairs many
 // times, and the mesh topology is immutable for the composer's lifetime,
 // so each pair pays RouteBetween's path reconstruction exactly once.
+//
+//acp:hotpath
 func (c *Composer) route(from, to int) overlay.Route {
 	sc := &c.scratch
 	idx := from*sc.numNodes + to
@@ -341,24 +345,44 @@ func (c *Composer) expand(out *Outcome, order []int, idx int, p hopChild) {
 func (c *Composer) holdComposition(comp *Composition) bool {
 	w := &c.walk
 	nodes, links := c.accumulateDemands(w.req, comp.Components, comp.Routes)
-	for _, nd := range nodes {
+	for i, nd := range nodes {
 		if !c.env.Ledger.HoldNode(w.owner, 0, nd.node, nd.amount, w.expires) {
+			c.rollbackComposition(nodes[:i], nil)
 			return false
 		}
 		c.env.Tracer.HoldAcquired(w.req.ID, 0, -1, nd.node)
 	}
-	for _, ld := range links {
+	for i, ld := range links {
 		if !c.env.Ledger.HoldLink(w.owner, 0, ld.link, ld.bw, w.expires) {
+			c.rollbackComposition(nodes, links[:i])
 			return false
 		}
 	}
 	return true
 }
 
+// rollbackComposition releases the aggregate holds holdComposition
+// placed before one failed, so a failed placement leaves no residue on
+// the ledger regardless of what the caller does next. (Previously a
+// mid-sequence failure leaked every earlier hold until the caller's
+// owner-level release — the same shape as the extendProbe partial-hold
+// leak fixed in the allocation-free-walk change.)
+func (c *Composer) rollbackComposition(nodes []nodeDemand, links []linkDemand) {
+	w := &c.walk
+	for _, nd := range nodes {
+		c.env.Ledger.ReleaseNodeHold(w.owner, 0, nd.node)
+	}
+	for _, ld := range links {
+		c.env.Ledger.ReleaseLinkHold(w.owner, 0, ld.link)
+	}
+}
+
 // predecessorRoutes collects the virtual links from each already-assigned
 // predecessor of pos to the candidate node, accumulating their QoS. The
 // result slice is a shared scratch buffer: it is valid only until the
 // next predecessorRoutes call, which every caller fully consumes first.
+//
+//acp:hotpath
 func (c *Composer) predecessorRoutes(pos, candNode int) ([]overlay.Route, qos.Vector) {
 	sc := &c.scratch
 	routes := sc.predRoutes[:0]
@@ -380,6 +404,8 @@ func (c *Composer) predecessorRoutes(pos, candNode int) ([]overlay.Route, qos.Ve
 // and return the surviving child probes (valid until the next
 // extendProbe call at the same depth). isSource marks the graph's source
 // position, whose probe hop starts from the deputy node.
+//
+//acp:hotpath
 func (c *Composer) extendProbe(out *Outcome, p hopChild, depth, pos int, isSource bool) []hopChild {
 	w := &c.walk
 	sc := &c.scratch
@@ -521,6 +547,8 @@ func (c *Composer) extendProbe(out *Outcome, p hopChild, depth, pos int, isSourc
 // congestion function W (Eq. 10); SelectRandom (RP) picks uniformly
 // without consulting the global state. The returned slice is scratch,
 // valid until the next selectCandidates call.
+//
+//acp:hotpath
 func (c *Composer) selectCandidates(p hopChild, pos int, candidates []component.ComponentID) []component.ComponentID {
 	if c.cfg.Algorithm == AlgOptimal {
 		return candidates
@@ -538,6 +566,7 @@ func (c *Composer) selectCandidates(p hopChild, pos int, candidates []component.
 			return candidates
 		}
 		picked := append(sc.selected[:0], candidates...)
+		//acp:alloc-ok Shuffle's swap closure does not escape: the compiler keeps it and picked on the stack
 		c.env.Rand.Shuffle(len(picked), func(i, j int) { picked[i], picked[j] = picked[j], picked[i] })
 		if tr.Enabled() {
 			for _, cut := range picked[m:] {
@@ -639,6 +668,8 @@ func rankCutReason(sel SelectionPolicy, cutRisk, lastKeptRisk float64) obs.Reaso
 // policy. The paper compares risk values first and falls back to the
 // congestion function when risks are similar; "similar" is a 5% relative
 // band.
+//
+//acp:hotpath
 func (c *Composer) candLess(ri, ci, rj, cj float64) bool {
 	const band = 0.05
 	switch c.cfg.Selection {
@@ -710,6 +741,8 @@ func (c *Composer) selectBest(complete []probeState) (*Composition, int) {
 // against the request's own-credited precise availability. The returned
 // composition lives in the double-buffered evaluation scratch: it is
 // valid until the buffer is flipped twice (selectBest flips on keep).
+//
+//acp:hotpath
 func (c *Composer) evaluate(assign []component.ComponentID) (*Composition, bool) {
 	req := c.walk.req
 	sc := &c.scratch
@@ -759,6 +792,8 @@ func (c *Composer) evaluate(assign []component.ComponentID) (*Composition, bool)
 // virtual links consume nothing (footnote 4). The slices are scratch,
 // valid until the next call; entries appear in first-seen order, which
 // keeps every downstream float summation deterministic.
+//
+//acp:hotpath
 func (c *Composer) accumulateDemands(req *component.Request, comps []component.ComponentID, routes []overlay.Route) ([]nodeDemand, []linkDemand) {
 	sc := &c.scratch
 	nodes := sc.nodeDemands[:0]
@@ -805,6 +840,8 @@ func (c *Composer) accumulateDemands(req *component.Request, comps []component.C
 // ALL of this request's placements there (footnote 5), and each virtual
 // link contributes b/(rb + b) with rb the bottleneck residual bandwidth
 // after this request's reservations (0 for co-located links, footnote 8).
+//
+//acp:hotpath
 func (c *Composer) phi(req *component.Request, comps []component.ComponentID, routes []overlay.Route,
 	nodes []nodeDemand, links []linkDemand) float64 {
 

@@ -354,9 +354,11 @@ func (n *node) available() qos.Resources {
 // block on its own reservations).
 func (n *node) availableFor(owner int64) qos.Resources {
 	avail := n.available()
-	for key, h := range n.holds {
+	// Sorted iteration: float addition is not associative, so summing in
+	// map order would make availability depend on iteration order.
+	for _, key := range sortedHoldKeys(n.holds) {
 		if key.owner == owner {
-			avail = avail.Add(h.amount)
+			avail = avail.Add(n.holds[key].amount)
 		}
 	}
 	return avail
@@ -415,9 +417,11 @@ func (n *node) holdFor(owner int64, pos int, amount qos.Resources) bool {
 
 func (n *node) releaseHolds(owner int64) {
 	released := 0
-	for key, h := range n.holds {
+	// Sorted iteration keeps the running heldTotal bit-identical across
+	// runs; subtracting floats in map order would not.
+	for _, key := range sortedHoldKeys(n.holds) {
 		if key.owner == owner {
-			n.heldTotal = n.heldTotal.Sub(h.amount)
+			n.heldTotal = n.heldTotal.Sub(n.holds[key].amount)
 			delete(n.holds, key)
 			released++
 		}

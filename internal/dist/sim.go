@@ -172,8 +172,10 @@ func (c *Cluster) NodeAccountingAt(id int) NodeAccounting {
 		Pending:    len(n.pending),
 		Down:       n.down,
 	}
-	for _, h := range n.holds {
-		acc.HoldSum = acc.HoldSum.Add(h.amount)
+	// Sorted iteration: the audit compares HoldSum against the running
+	// heldTotal, so the sum must be reproducible bit for bit.
+	for _, key := range sortedHoldKeys(n.holds) {
+		acc.HoldSum = acc.HoldSum.Add(n.holds[key].amount)
 	}
 	for owner, amount := range n.commits {
 		acc.Commits[owner] = amount

@@ -91,7 +91,8 @@ type Injector struct {
 	clk   clock.Clock
 	start time.Time
 
-	mu  sync.Mutex
+	mu sync.Mutex
+	// rng drives every probabilistic decision. guarded by mu
 	rng *rand.Rand
 
 	// crashes is the per-node outage schedule, sorted by start time.

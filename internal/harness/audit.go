@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/component"
 	"repro/internal/dist"
@@ -51,8 +52,13 @@ func (a *Auditor) CheckStep() error {
 				id, acc.HeldTotal, acc.HoldSum)
 		}
 		var commitSum qos.Resources
-		for _, amount := range acc.Commits {
-			commitSum = commitSum.Add(amount)
+		owners := make([]int64, 0, len(acc.Commits))
+		for owner := range acc.Commits {
+			owners = append(owners, owner)
+		}
+		sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+		for _, owner := range owners {
+			commitSum = commitSum.Add(acc.Commits[owner])
 		}
 		if !close2(acc.Committed, commitSum) {
 			return fmt.Errorf("node %d: commit bookkeeping drifted: running=%v sum-of-commits=%v",

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/component"
@@ -228,11 +229,7 @@ func sortedLive(live map[int64]int) []int {
 	for owner := range live {
 		owners = append(owners, owner)
 	}
-	for i := 1; i < len(owners); i++ {
-		for j := i; j > 0 && owners[j] < owners[j-1]; j-- {
-			owners[j], owners[j-1] = owners[j-1], owners[j]
-		}
-	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
 	out := make([]int, len(owners))
 	for i, owner := range owners {
 		out[i] = live[owner]

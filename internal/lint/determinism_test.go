@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	saved := lint.DeterminismScope
+	lint.DeterminismScope = append([]string{"testdata/src/determinism"}, saved...)
+	defer func() { lint.DeterminismScope = saved }()
+	linttest.Run(t, "testdata/src/determinism", lint.Determinism)
+}
+
+// TestDeterminismScope checks the fixture is ignored when its path is
+// not in scope: the analyzer must not fire outside the deterministic
+// packages.
+func TestDeterminismScope(t *testing.T) {
+	pkgs, err := lint.Load("testdata/src/determinism", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{lint.Determinism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("determinism fired outside its scope: %v", diags)
+	}
+}

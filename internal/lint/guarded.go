@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Guarded checks mutex discipline declared in field documentation: a
+// struct field whose doc or line comment says "guarded by <mu>" may only
+// be accessed from functions that demonstrably hold <mu> — a
+// <recv>.<mu>.Lock() or RLock() call lexically precedes the access in
+// the same function — or from helpers following the *Locked naming
+// convention (callers hold the lock). DFaaS-style distributed node loops
+// show how quickly undisciplined shared state creeps in; this pins the
+// discipline at the field declaration.
+//
+// Composite-literal construction (the New* pattern) does not read or
+// write through a selector and is inherently pre-publication, so it is
+// not flagged.
+var Guarded = &Analyzer{
+	Name: "acpguarded",
+	Doc: "fields documented `guarded by <mu>` may only be accessed holding <mu> " +
+		"(waive with //acp:guarded-ok <why>)",
+	Run: runGuarded,
+}
+
+const guardWaiver = "guarded-ok"
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedField records one annotated field and its guard's name.
+type guardedField struct {
+	mu   string
+	decl token.Pos
+}
+
+func runGuarded(pass *Pass) error {
+	guards := collectGuardedFields(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields maps each field *types.Var with a "guarded by"
+// comment to its guard.
+func collectGuardedFields(pass *Pass) map[*types.Var]guardedField {
+	guards := make(map[*types.Var]guardedField)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardNameFor(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = guardedField{mu: mu, decl: name.Pos()}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardNameFor(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guards map[*types.Var]guardedField) {
+	lockedByName := strings.HasSuffix(fd.Name.Name, "Locked")
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return true
+		}
+		g, guarded := guards[v]
+		if !guarded {
+			return true
+		}
+		if lockedByName {
+			return true
+		}
+		if holdsGuard(pass, fd, g.mu, sel.Pos()) {
+			return true
+		}
+		if pass.waived(sel.Pos(), guardWaiver) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s is guarded by %s, but no %s.Lock()/RLock() precedes this access in %s; lock the mutex, move the access into a *Locked helper, or waive with //acp:guarded-ok <why>",
+			sel.Sel.Name, g.mu, g.mu, fd.Name.Name)
+		return true
+	})
+}
+
+// holdsGuard reports whether a call of the form <...>.<mu>.Lock() or
+// <...>.<mu>.RLock() appears in fd lexically before pos. This is the
+// same lexical approximation gopls' users rely on with staticcheck-style
+// checkers: sound enough to catch missing-lock bugs, loose enough not to
+// demand a full lockset analysis.
+func holdsGuard(pass *Pass, fd *ast.FuncDecl, mu string, pos token.Pos) bool {
+	held := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		switch recv := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			if recv.Sel.Name == mu {
+				held = true
+			}
+		case *ast.Ident:
+			if recv.Name == mu {
+				held = true
+			}
+		}
+		return true
+	})
+	return held
+}

@@ -1,0 +1,135 @@
+// Package linttest is a miniature analysistest: it loads a fixture
+// package from a testdata directory, runs one analyzer over it, and
+// matches the diagnostics against `// want "regexp"` comments on the
+// offending lines. Unmatched expectations and unexpected diagnostics
+// both fail the test.
+//
+// Fixture packages live under testdata/src/<name> and are real,
+// compiling packages of the enclosing module (go build ./... skips
+// testdata directories, so intentionally bad code never breaks the
+// build). They are loaded through the same go list -export pipeline as
+// production runs, so the test exercises the loader too.
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one // want entry: a position and a regexp.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture package rooted at dir (a path relative to the
+// caller's working directory, e.g. "testdata/src/determinism") and
+// applies the analyzer, comparing diagnostics against // want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(abs, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s loaded %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !matchWant(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// collectWants extracts the // want expectations from every comment in
+// the fixture. Multiple quoted regexps on one line each expect one
+// diagnostic.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted pulls the backquote- or doublequote-delimited patterns out
+// of a want payload: `foo` "bar" -> [foo bar].
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		q := s[0]
+		if q != '`' && q != '"' {
+			return out
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[1:1+end])
+		s = s[2+end:]
+	}
+}
+
+func matchWant(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.hit || w.line != line {
+			continue
+		}
+		if filepath.Base(w.file) != filepath.Base(file) {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+// Package determinism exercises the acpdeterminism analyzer: wall-clock
+// time calls, the process-global math/rand functions, and map iteration
+// leaking its order into observable output. The tests temporarily add
+// this package's import path to lint.DeterminismScope.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Tracer mimics the obs tracer: methods on a type named Tracer count as
+// event emission for the map-range check.
+type Tracer struct{}
+
+// Emit records one event.
+func (*Tracer) Emit(k string) {}
+
+func wallClock() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(start)     // want `time\.Since reads the wall clock`
+}
+
+func timeMath(a, b time.Time) bool {
+	return a.After(b) // time.Time methods are pure value comparisons
+}
+
+func waivedClock() time.Time {
+	return time.Now() //acp:nondeterminism-ok fixture exercises the escape hatch
+}
+
+func waiverWithoutReason() time.Time {
+	return time.Now() //acp:nondeterminism-ok // want `acp:nondeterminism-ok requires a justification`
+}
+
+func globalRand(rng *rand.Rand) int {
+	injected := rng.Intn(10)           // methods on an injected *rand.Rand are fine
+	src := rand.New(rand.NewSource(1)) // seeded constructors are fine
+	_ = src
+	return injected + rand.Intn(10) // want `rand\.Intn uses the process-global random source`
+}
+
+func mapAppendUnsorted(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want `append inside range over map leaks iteration order`
+	}
+	return out
+}
+
+func mapAppendSorted(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort is the approved idiom
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func mapFloatAccum(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum inside range over map`
+	}
+	return sum
+}
+
+func mapIntCount(m map[int]int) int {
+	n := 0
+	for range m {
+		n++ // integer counting is order-independent
+	}
+	return n
+}
+
+func mapIndexedByKey(m map[int]float64, out []float64) {
+	for k, v := range m {
+		out[k] += v // disjoint slots per iteration: order-independent
+	}
+}
+
+func mapEmit(m map[int]int, tr *Tracer) {
+	for k := range m {
+		_ = k
+		tr.Emit("visit") // want `trace event Tracer\.Emit emitted inside range over map`
+	}
+}
+
+func mapWaived(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m { //acp:nondeterminism-ok fixture: summands are exact powers of two
+		sum += v
+	}
+	return sum
+}

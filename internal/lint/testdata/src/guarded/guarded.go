@@ -1,0 +1,50 @@
+// Package guarded exercises the acpguarded analyzer: struct fields whose
+// doc comment declares "guarded by <mu>" may only be accessed while the
+// guard is demonstrably held.
+package guarded
+
+import "sync"
+
+type registry struct {
+	mu sync.RWMutex
+	// counters indexes counters by name. guarded by mu
+	counters map[string]int
+	// unrelated carries no guard declaration and is never flagged.
+	unrelated int
+}
+
+func (r *registry) get(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.counters[name]
+}
+
+func (r *registry) add(name string) {
+	r.mu.Lock()
+	r.counters[name]++
+	r.mu.Unlock()
+}
+
+func (r *registry) racyGet(name string) int {
+	return r.counters[name] // want `counters is guarded by mu`
+}
+
+func (r *registry) racyLate(name string) int {
+	n := r.counters[name] // want `counters is guarded by mu`
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return n + r.counters[name]
+}
+
+// bumpLocked follows the *Locked convention: callers hold mu.
+func (r *registry) bumpLocked(name string) {
+	r.counters[name]++
+}
+
+func (r *registry) setupWaived(name string) {
+	r.counters[name] = 0 //acp:guarded-ok fixture: single-goroutine construction path
+}
+
+func (r *registry) touchUnrelated() {
+	r.unrelated++
+}

@@ -1,0 +1,143 @@
+// Package holdpair exercises the acpholdpair analyzer: failure paths
+// that abandon an attempt without releasing the holds it created. The
+// ledger stub mirrors internal/state's Hold*/Release* surface — the
+// analyzer matches by method name, so any type with these names is
+// checked the same way.
+package holdpair
+
+type ledger struct{}
+
+func (l *ledger) HoldNode(owner int64, node int) bool { return true }
+
+func (l *ledger) HoldLink(owner int64, link int) bool { return true }
+
+func (l *ledger) HoldNodeTracked(owner int64, node int) (ok, created bool) { return true, true }
+
+func (l *ledger) HoldLinkTracked(owner int64, link int) (ok, created bool) { return true, true }
+
+func (l *ledger) ReleaseNodeHold(owner int64, node int) {}
+
+func (l *ledger) ReleaseLinkHold(owner int64, link int) {}
+
+func (l *ledger) ReleaseOwner(owner int64) {}
+
+// goodWalk mirrors the fixed extendProbe: a candidate that fails its
+// link holds rolls back exactly what it created before moving on.
+func goodWalk(l *ledger, cands []int, links [][]int) []int {
+	kept := cands[:0]
+	for i, c := range cands {
+		okNode, createdNode := l.HoldNodeTracked(1, c)
+		if !okNode {
+			continue
+		}
+		held := true
+		var heldLinks []int
+		for _, link := range links[i] {
+			okLink, createdLink := l.HoldLinkTracked(1, link)
+			if !okLink {
+				held = false
+				break
+			}
+			if createdLink {
+				heldLinks = append(heldLinks, link)
+			}
+		}
+		if !held {
+			if createdNode {
+				l.ReleaseNodeHold(1, c)
+			}
+			for _, link := range heldLinks {
+				l.ReleaseLinkHold(1, link)
+			}
+			continue
+		}
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+// badWalk is the PR 4 extendProbe bug shape: the node hold survives the
+// continue when the candidate's links cannot all be held.
+func badWalk(l *ledger, cands []int, links [][]int) []int {
+	kept := cands[:0]
+	for i, c := range cands {
+		okNode, _ := l.HoldNodeTracked(1, c)
+		if !okNode {
+			continue
+		}
+		held := true
+		for _, link := range links[i] {
+			if ok := l.HoldLink(1, link); !ok {
+				held = false
+				break
+			}
+		}
+		if !held {
+			continue // want `continue may leak the hold created by HoldNodeTracked`
+		}
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+// badComposition is the holdComposition shape: node holds from the first
+// loop leak when a later link hold fails.
+func badComposition(l *ledger, nodes, links []int) bool {
+	for _, n := range nodes {
+		if !l.HoldNode(1, n) {
+			return false
+		}
+	}
+	for _, link := range links {
+		if !l.HoldLink(1, link) {
+			return false // want `failure return may leak the hold created by HoldNode`
+		}
+	}
+	return true
+}
+
+// goodComposition rolls the whole owner back on every failure exit.
+func goodComposition(l *ledger, nodes, links []int) bool {
+	for _, n := range nodes {
+		if !l.HoldNode(1, n) {
+			l.ReleaseOwner(1)
+			return false
+		}
+	}
+	for _, link := range links {
+		if !l.HoldLink(1, link) {
+			l.ReleaseOwner(1)
+			return false
+		}
+	}
+	return true
+}
+
+// deferredRelease covers every exit with one deferred rollback.
+func deferredRelease(l *ledger, nodes []int) bool {
+	defer l.ReleaseOwner(1)
+	for _, n := range nodes {
+		if !l.HoldNode(1, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// waivedComposition is badComposition with a documented compensating
+// release at the call site.
+//
+//acp:holdpair-ok fixture: the only caller runs ReleaseOwner when this returns false
+func waivedComposition(l *ledger, nodes, links []int) bool {
+	for _, n := range nodes {
+		if !l.HoldNode(1, n) {
+			return false
+		}
+	}
+	for _, link := range links {
+		if !l.HoldLink(1, link) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+// Package hotpath exercises the acphotpath analyzer: allocation-causing
+// constructs inside functions opted in with //acp:hotpath.
+package hotpath
+
+import "fmt"
+
+type scratch struct {
+	buf      []int
+	selected []int
+}
+
+type walker struct {
+	sc scratch
+}
+
+func sink(x any) {}
+
+func visit(f func()) { f() }
+
+// goodWalk reuses composer-lifetime scratch storage; nothing here
+// allocates in steady state.
+//
+//acp:hotpath
+func (w *walker) goodWalk(vals []int) []int {
+	out := w.sc.buf[:0]
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	w.sc.buf = out
+	return out
+}
+
+// notHot is identical to badAppend but unannotated: the analyzer must
+// ignore it.
+func notHot(vals []int) []int {
+	var out []int
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return out
+}
+
+// badSprintf formats on the hot path.
+//
+//acp:hotpath
+func badSprintf(id int) string {
+	return fmt.Sprintf("probe-%d", id) // want `fmt\.Sprintf allocates`
+}
+
+// badClosure captures a function-local variable.
+//
+//acp:hotpath
+func badClosure() func() int {
+	total := 0
+	f := func() int { // want `closure captures total`
+		total++
+		return total
+	}
+	return f
+}
+
+// waivedClosure is the same shape with a justified waiver.
+//
+//acp:hotpath
+func waivedClosure() {
+	n := 0
+	visit(func() { n++ }) //acp:alloc-ok fixture: callee invokes the closure inline and never retains it
+}
+
+// badAppend grows a fresh local backing array every call.
+//
+//acp:hotpath
+func badAppend(vals []int) []int {
+	out := make([]int, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v) // want `append to non-scratch destination out`
+	}
+	return out
+}
+
+// badConcat builds a string at runtime.
+//
+//acp:hotpath
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+// constConcat folds at compile time and must not be flagged.
+//
+//acp:hotpath
+func constConcat() string {
+	return "probe" + "-walk"
+}
+
+// badBoxReturn boxes an int into the any result.
+//
+//acp:hotpath
+func badBoxReturn(v int) any {
+	return v // want `value of type int boxed into any`
+}
+
+// badBoxArg boxes a wide value into an interface parameter.
+//
+//acp:hotpath
+func badBoxArg(v [4]float64) {
+	sink(v) // want `value of type \[4\]float64 boxed into any`
+}
+
+// pointerArg passes a pointer-shaped value; no box, no finding.
+//
+//acp:hotpath
+func pointerArg(w *walker) {
+	sink(w)
+}
+
+// badCompositeAddr heap-allocates a fresh struct.
+//
+//acp:hotpath
+func badCompositeAddr() *scratch {
+	return &scratch{} // want `&composite literal allocates`
+}
+
+// badNew heap-allocates too.
+//
+//acp:hotpath
+func badNew() *scratch {
+	return new(scratch) // want `new\(\.\.\.\) allocates`
+}

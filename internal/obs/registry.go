@@ -130,9 +130,12 @@ func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
 // read-write mutex, so resolve instruments once and hold the pointers on
 // hot paths; the instruments themselves are lock-free.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
+	mu sync.RWMutex
+	// counters indexes counters by name. guarded by mu
+	counters map[string]*Counter
+	// gauges indexes gauges by name. guarded by mu
+	gauges map[string]*Gauge
+	// histograms indexes histograms by name. guarded by mu
 	histograms map[string]*Histogram
 }
 
