@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -63,7 +64,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	outPath := fs.String("o", "", "write JSON here instead of stdout")
 	comparePath := fs.String("compare", "", "baseline JSON to compare the input against")
 	threshold := fs.Float64("threshold", 15, "max allowed regression percent for ns/op and allocs/op")
-	filter := fs.String("filter", "", "substring: only compare benchmarks whose name contains it")
+	filter := fs.String("filter", "", "regexp: only compare benchmarks whose name matches it")
 	minIters := fs.Int("min-iters", 2, "refuse to gate benchmarks with fewer iterations than this (min 2)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -166,6 +167,13 @@ func compare(base, fresh *Baseline, filter string, threshold float64, minIters i
 	if minIters < 2 {
 		return fmt.Errorf("-min-iters must be at least 2: single-iteration samples carry no variance estimate")
 	}
+	var filterRe *regexp.Regexp
+	if filter != "" {
+		var err error
+		if filterRe, err = regexp.Compile(filter); err != nil {
+			return fmt.Errorf("-filter: %v", err)
+		}
+	}
 	old := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, bm := range base.Benchmarks {
 		old[normName(bm.Name)] = bm
@@ -175,7 +183,7 @@ func compare(base, fresh *Baseline, filter string, threshold float64, minIters i
 	seen := make(map[string]Benchmark, len(fresh.Benchmarks))
 	for _, bm := range fresh.Benchmarks {
 		name := normName(bm.Name)
-		if filter != "" && !strings.Contains(name, filter) {
+		if filterRe != nil && !filterRe.MatchString(name) {
 			continue
 		}
 		if _, ok := old[name]; !ok {

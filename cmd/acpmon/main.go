@@ -1,0 +1,249 @@
+// Command acpmon is a terminal monitor for a live observability plane
+// (acpsim -serve-obs, or any obs.Serve endpoint). It polls the
+// /metrics.json snapshot and renders the numbers an operator watches:
+// composition throughput, find-latency quantiles, and the top-K live
+// sessions ranked by how close they sit to their Eq. 3 requirement.
+//
+// Usage:
+//
+//	acpmon http://127.0.0.1:9090            # poll every 2s
+//	acpmon -once http://127.0.0.1:9090      # one snapshot, then exit
+//	acpmon -once snapshot.json              # read a saved /metrics.json
+//	acpmon -validate http://127.0.0.1:9090  # scrape /metrics and lint the
+//	                                        # Prometheus exposition
+//	acpmon -validate metrics.prom           # lint a saved exposition
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "acpmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("acpmon", flag.ContinueOnError)
+	var (
+		interval = fs.Duration("interval", 2*time.Second, "poll interval")
+		once     = fs.Bool("once", false, "print one summary and exit")
+		polls    = fs.Int("polls", 0, "exit after this many polls (0 = forever)")
+		topK     = fs.Int("top", 10, "sessions to show, ranked worst margin first")
+		validate = fs.Bool("validate", false, "check the /metrics Prometheus exposition instead of summarising")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected one endpoint URL or snapshot file, got %d args", fs.NArg())
+	}
+	target := fs.Arg(0)
+
+	if *validate {
+		return runValidate(target, w)
+	}
+
+	var prev *obs.Snapshot
+	var prevAt time.Time
+	for n := 0; ; n++ {
+		s, err := fetchSnapshot(target)
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		if n > 0 {
+			fmt.Fprintln(w)
+		}
+		summarise(w, s, prev, now.Sub(prevAt), *topK)
+		prev, prevAt = s, now
+		if *once || !isURL(target) || (*polls > 0 && n+1 >= *polls) {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func isURL(target string) bool {
+	return strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://")
+}
+
+// fetchSnapshot loads a registry snapshot from an obs.Serve endpoint's
+// /metrics.json or from a file saved from it.
+func fetchSnapshot(target string) (*obs.Snapshot, error) {
+	var r io.ReadCloser
+	if isURL(target) {
+		resp, err := http.Get(strings.TrimSuffix(target, "/") + "/metrics.json")
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("GET /metrics.json: %s", resp.Status)
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(target)
+		if err != nil {
+			return nil, err
+		}
+		r = f
+	}
+	defer r.Close()
+	var s obs.Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("%s: decoding snapshot: %w", target, err)
+	}
+	return &s, nil
+}
+
+// runValidate scrapes /metrics (or reads a saved exposition) and
+// machine-checks the Prometheus text format — the CI smoke gate.
+func runValidate(target string, w io.Writer) error {
+	var r io.ReadCloser
+	name := target
+	if isURL(target) {
+		name = strings.TrimSuffix(target, "/") + "/metrics"
+		resp, err := http.Get(name)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return fmt.Errorf("GET /metrics: %s", resp.Status)
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(target)
+		if err != nil {
+			return err
+		}
+		r = f
+	}
+	defer r.Close()
+	if err := obs.CheckExposition(r); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Fprintf(w, "ok       %s is valid Prometheus text exposition\n", name)
+	return nil
+}
+
+// summarise renders one snapshot; when prev is non-nil, counter deltas
+// become per-second rates over elapsed.
+func summarise(w io.Writer, s, prev *obs.Snapshot, elapsed time.Duration, topK int) {
+	fmt.Fprintf(w, "counters (%d):\n", len(s.Counters))
+	for _, name := range sortedKeys(s.Counters) {
+		v := s.Counters[name]
+		if prev != nil && elapsed > 0 {
+			rate := float64(v-prev.Counters[name]) / elapsed.Seconds()
+			fmt.Fprintf(w, "  %-40s %12d  %8.1f/s\n", name, v, rate)
+		} else {
+			fmt.Fprintf(w, "  %-40s %12d\n", name, v)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(w, "gauges (%d):\n", len(s.Gauges))
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(w, "  %-40s %12.3f\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Quantiles) > 0 {
+		fmt.Fprintf(w, "latency quantiles (%d):\n", len(s.Quantiles))
+		fmt.Fprintf(w, "  %-40s %9s %9s %9s %9s %9s\n", "histogram", "count", "p50", "p99", "p999", "max")
+		for _, name := range sortedKeys(s.Quantiles) {
+			q := s.Quantiles[name]
+			fmt.Fprintf(w, "  %-40s %9d %9.3f %9.3f %9.3f %9.3f\n",
+				name, q.Count, q.P50, q.P99, q.P999, q.Max)
+		}
+	}
+	printSessions(w, s, topK)
+}
+
+// sessionRow is one live session's QoS standing.
+type sessionRow struct {
+	session string
+	phi     float64
+	// margin is required - observed: how much Eq. 3 headroom remains.
+	// Negative means the session is in violation.
+	margin   float64
+	observed float64
+}
+
+// printSessions ranks live sessions worst-margin-first from the
+// "session.*" gauge vectors the engines publish per composition.
+func printSessions(w io.Writer, s *obs.Snapshot, topK int) {
+	observed, ok := s.GaugeVecs["session.qos.observed"]
+	if !ok || topK <= 0 {
+		return
+	}
+	required := indexVec(s.GaugeVecs["session.qos.required"])
+	phi := indexVec(s.GaugeVecs["session.phi"])
+
+	rows := make([]sessionRow, 0, len(observed.Values))
+	for _, lv := range observed.Values {
+		key := strings.Join(lv.Labels, "/")
+		req, ok := required[key]
+		if !ok {
+			continue
+		}
+		rows = append(rows, sessionRow{
+			session:  key,
+			phi:      phi[key],
+			margin:   req - lv.Value,
+			observed: lv.Value,
+		})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].margin != rows[j].margin {
+			return rows[i].margin < rows[j].margin
+		}
+		return rows[i].session < rows[j].session
+	})
+	shown := len(rows)
+	if shown > topK {
+		shown = topK
+	}
+	fmt.Fprintf(w, "sessions (%d live, worst %d by QoS margin):\n", len(rows), shown)
+	fmt.Fprintf(w, "  %-16s %10s %10s %10s  %s\n", "session", "phi", "observed", "margin", "state")
+	for _, r := range rows[:shown] {
+		state := "ok"
+		if r.margin < 0 {
+			state = "VIOLATION"
+		}
+		fmt.Fprintf(w, "  %-16s %10.3f %10.3f %10.3f  %s\n", r.session, r.phi, r.observed, r.margin, state)
+	}
+}
+
+// indexVec maps joined label values to gauge values; nil-safe on a
+// missing vector (zero VecSnapshot).
+func indexVec(v obs.VecSnapshot) map[string]float64 {
+	m := make(map[string]float64, len(v.Values))
+	for _, lv := range v.Values {
+		m[strings.Join(lv.Labels, "/")] = lv.Value
+	}
+	return m
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// monitorRegistry builds a registry resembling a live engine: find
+// counters, a latency quantile histogram, and three sessions where
+// session 9 violates its Eq. 3 requirement.
+func monitorRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("runtime.finds").Add(42)
+	r.Gauge("runtime.sessions.active").Set(3)
+	q := r.QHistogram("runtime.find.latency_quantiles_ms")
+	for i := 1; i <= 100; i++ {
+		q.Observe(float64(i))
+	}
+	phi := r.GaugeVec("session.phi", "session")
+	observed := r.GaugeVec("session.qos.observed", "session")
+	required := r.GaugeVec("session.qos.required", "session")
+	for _, s := range []struct {
+		id       string
+		phi, obs float64
+	}{{"7", 0.4, 0.5}, {"8", 0.8, 0.9}, {"9", 1.6, 1.8}} {
+		phi.With(s.id).Set(s.phi)
+		observed.With(s.id).Set(s.obs)
+		required.With(s.id).Set(1)
+	}
+	return r
+}
+
+func writeSnapshot(t *testing.T, r *obs.Registry) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snapshot.json")
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummariseSnapshotFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-once", writeSnapshot(t, monitorRegistry())}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"runtime.finds",
+		"runtime.find.latency_quantiles_ms",
+		"sessions (3 live, worst 3 by QoS margin)",
+		"VIOLATION",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// Worst margin first: session 9 (margin -0.8) leads the table.
+	vi := strings.Index(got, "  9 ")
+	oi := strings.Index(got, "  7 ")
+	if vi < 0 || oi < 0 || vi > oi {
+		t.Errorf("violating session 9 not ranked before healthy session 7:\n%s", got)
+	}
+}
+
+func TestTopKLimitsSessionTable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-once", "-top", "1", writeSnapshot(t, monitorRegistry())}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "worst 1 by QoS margin") {
+		t.Errorf("missing truncated session header:\n%s", got)
+	}
+	if strings.Contains(got, "  7 ") {
+		t.Errorf("-top 1 still shows healthy session 7:\n%s", got)
+	}
+}
+
+func TestValidateExpositionFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "metrics.prom")
+	f, err := os.Create(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WritePrometheus(f, monitorRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-validate", good}, &out); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("missing ok line: %s", out.String())
+	}
+
+	bad := filepath.Join(dir, "bad.prom")
+	if err := os.WriteFile(bad, []byte("# TYPE x counter\nx notanumber\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-validate", bad}, &out); err == nil {
+		t.Fatal("malformed exposition accepted")
+	}
+}
+
+func TestLiveEndpoint(t *testing.T) {
+	srv, err := obs.Serve("127.0.0.1:0", obs.ServeConfig{Registry: monitorRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := run([]string{"-once", srv.URL()}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "runtime.finds") {
+		t.Errorf("live summary missing counters:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-validate", srv.URL()}, &out); err != nil {
+		t.Fatalf("live exposition rejected: %v", err)
+	}
+
+	// Two polls exercise the rate column.
+	out.Reset()
+	if err := run([]string{"-polls", "2", "-interval", "10ms", srv.URL()}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "/s") {
+		t.Errorf("second poll missing rate column:\n%s", out.String())
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no target accepted")
+	}
+	if err := run([]string{"a", "b"}, &out); err == nil {
+		t.Fatal("two targets accepted")
+	}
+	if err := run([]string{"-once", filepath.Join(t.TempDir(), "missing.json")}, &out); err == nil {
+		t.Fatal("missing snapshot file accepted")
+	}
+}

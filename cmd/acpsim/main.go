@@ -71,6 +71,8 @@ func run(args []string) error {
 		migrate  = fs.Bool("migrate", false, "enable dynamic component placement")
 		traceOut = fs.String("trace-out", "", "write probe-lifecycle span events (JSONL) to this file")
 		metrOut  = fs.String("metrics-out", "", "write an instrument snapshot (text) to this file")
+		serveObs = fs.String("serve-obs", "", "serve the observability plane (/metrics, /trace, /healthz, pprof) at this address, e.g. :9090")
+		srvHold  = fs.Duration("serve-hold", 0, "keep -serve-obs up this long after the run (0 = close immediately)")
 
 		distMode  = fs.Bool("dist", false, "run the goroutine-per-node distributed engine instead of the simulator")
 		requests  = fs.Int("requests", 48, "dist: number of requests in the batch")
@@ -175,6 +177,26 @@ func run(args []string) error {
 		registry = obs.NewRegistry()
 		rc.Registry = registry
 	}
+	var obsServer *obs.Server
+	if *serveObs != "" {
+		// The HTTP plane needs a registry and a tracer regardless of the
+		// file outputs; a sink-less live tracer serves /trace subscribers
+		// without writing anywhere.
+		if registry == nil {
+			registry = obs.NewRegistry()
+			rc.Registry = registry
+		}
+		if rc.Tracer == nil {
+			rc.Tracer = obs.NewLive()
+		}
+		srv, err := obs.Serve(*serveObs, obs.ServeConfig{Registry: registry, Tracer: rc.Tracer})
+		if err != nil {
+			return fmt.Errorf("-serve-obs: %w", err)
+		}
+		obsServer = srv
+		defer srv.Close()
+		fmt.Printf("observability    %s/metrics (hold %v after run)\n", srv.URL(), *srvHold)
+	}
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
@@ -230,11 +252,15 @@ func run(args []string) error {
 		}
 		fmt.Printf("probe trace      %d span events to %s\n", traceSink.Count(), traceFile.Name())
 	}
-	if registry != nil {
+	if metricsFile != nil {
 		if err := registry.WriteText(metricsFile); err != nil {
 			return fmt.Errorf("-metrics-out: %w", err)
 		}
 		fmt.Printf("instruments      snapshot to %s\n", metricsFile.Name())
+	}
+	if obsServer != nil && *srvHold > 0 {
+		fmt.Printf("observability    holding %s for %v (Ctrl-C to stop early)\n", obsServer.URL(), *srvHold)
+		time.Sleep(*srvHold)
 	}
 
 	if *series {

@@ -204,3 +204,16 @@ func TestRunDistFaultMode(t *testing.T) {
 		t.Error("out-of-range drop probability accepted")
 	}
 }
+
+// TestRunServeObs runs a tiny simulation with the observability server
+// up and zero hold: the flag path must bind, print the URL, and shut
+// down cleanly with the run.
+func TestRunServeObs(t *testing.T) {
+	if err := run(tiny("-serve-obs", "127.0.0.1:0")); err != nil {
+		t.Fatal(err)
+	}
+	// An unbindable address fails fast before the simulation starts.
+	if err := run(tiny("-serve-obs", "256.0.0.1:bad")); err == nil {
+		t.Fatal("unbindable -serve-obs address accepted")
+	}
+}

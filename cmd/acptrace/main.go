@@ -67,11 +67,19 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "  %-16s %d\n", reason, s.pruneReasons[reason])
 		}
 	}
+	if s.drifts > 0 || s.recoveries > 0 {
+		fmt.Fprintf(w, "qos drift        %d exceeded, %d recovered\n", s.drifts, s.recoveries)
+	}
+	if s.lostEvents > 0 {
+		fmt.Fprintf(w, "TRACE GAPS       %d events lost to subscriber ring overflow\n", s.lostEvents)
+	}
 	if leaked := obs.LeakedSpans(events); len(leaked) > 0 {
 		fmt.Fprintf(w, "LEAKED SPANS     %d probes never closed: %v\n", len(leaked), leaked)
 	} else {
 		fmt.Fprintln(w, "span check       every spawned probe span closed")
 	}
+
+	printDurations(w, events)
 
 	if *perReq {
 		fmt.Fprintln(w, "\nper-request spans (request, spawned, returned, pruned):")
@@ -99,6 +107,8 @@ type summary struct {
 	prunedPreSend         int
 	prunedWithParent      int
 	committed, rolledBack int
+	drifts, recoveries    int
+	lostEvents            int
 	pruneReasons          map[obs.Reason]int
 	requests              map[int64]*requestSummary
 }
@@ -146,9 +156,109 @@ func summarise(events []obs.Event) summary {
 			s.committed++
 		case obs.EventRolledBack:
 			s.rolledBack++
+		case obs.EventQoSDrift:
+			if e.Reason == obs.ReasonDriftExceeded {
+				s.drifts++
+			} else {
+				s.recoveries++
+			}
+		case obs.EventTraceDropped:
+			s.lostEvents += e.Count
 		}
 	}
 	return s
+}
+
+// printDurations reports per-span-kind duration quantiles. Three kinds
+// of span live in a trace: probe spans (spawned -> returned; forwarded,
+// pruned, and dropped probes end without a walk RTT), request spans
+// (received -> decided, the collection window), and hold spans
+// (acquired -> released, the transient-allocation lifetime).
+// Probe durations prefer the closing event's recorded latencyMs (the
+// modeled RTT — the simulator composes a request at one simulated
+// instant, so its timestamp deltas are zero); request and hold spans
+// use event timestamp deltas, which are wall time for dist traces.
+func printDurations(w io.Writer, events []obs.Event) {
+	probes := obs.NewQHistogram()
+	requests := obs.NewQHistogram()
+	holds := obs.NewQHistogram()
+
+	probeOpen := make(map[int64]int64)
+	reqOpen := make(map[int64]int64)
+	reqClosed := make(map[int64]bool)
+	// req -> node -> open hold timestamps; a release with node -1 drops
+	// the request's holds everywhere (the simulator's release path).
+	holdOpen := make(map[int64]map[int][]int64)
+
+	ms := func(fromMicros, toMicros int64) float64 {
+		return float64(toMicros-fromMicros) / 1000
+	}
+	for _, e := range events {
+		switch {
+		case e.OpensSpan():
+			if _, ok := probeOpen[e.Probe]; !ok {
+				probeOpen[e.Probe] = e.AtMicros
+			}
+		case e.ClosesSpan():
+			at, ok := probeOpen[e.Probe]
+			delete(probeOpen, e.Probe)
+			// Only a returned probe completed a walk; forwarded, pruned,
+			// and dropped spans end without a meaningful RTT.
+			if ok && e.Type == obs.EventProbeReturned {
+				if e.LatencyMs > 0 {
+					probes.Observe(e.LatencyMs)
+				} else {
+					probes.Observe(ms(at, e.AtMicros))
+				}
+			}
+		}
+		switch e.Type {
+		case obs.EventRequestReceived:
+			if _, ok := reqOpen[e.Req]; !ok {
+				reqOpen[e.Req] = e.AtMicros
+			}
+		case obs.EventDecided, obs.EventCommitted, obs.EventRolledBack:
+			// The first decision-ish event closes the request span; the
+			// simulator emits committed/rolledback without a decided.
+			if at, ok := reqOpen[e.Req]; ok && !reqClosed[e.Req] {
+				reqClosed[e.Req] = true
+				requests.Observe(ms(at, e.AtMicros))
+			}
+		case obs.EventHoldAcquired:
+			if holdOpen[e.Req] == nil {
+				holdOpen[e.Req] = make(map[int][]int64)
+			}
+			holdOpen[e.Req][e.Node] = append(holdOpen[e.Req][e.Node], e.AtMicros)
+		case obs.EventHoldReleased:
+			if e.Node >= 0 {
+				for _, at := range holdOpen[e.Req][e.Node] {
+					holds.Observe(ms(at, e.AtMicros))
+				}
+				delete(holdOpen[e.Req], e.Node)
+				continue
+			}
+			for _, opens := range holdOpen[e.Req] {
+				for _, at := range opens {
+					holds.Observe(ms(at, e.AtMicros))
+				}
+			}
+			delete(holdOpen, e.Req)
+		}
+	}
+
+	fmt.Fprintln(w, "\nspan durations (ms):")
+	fmt.Fprintf(w, "  %-10s %7s %9s %9s %9s %9s\n", "kind", "count", "p50", "p99", "p999", "max")
+	for _, row := range []struct {
+		kind string
+		h    *obs.QHistogram
+	}{{"probe", probes}, {"request", requests}, {"hold", holds}} {
+		if row.h.Count() == 0 {
+			fmt.Fprintf(w, "  %-10s %7d\n", row.kind, 0)
+			continue
+		}
+		fmt.Fprintf(w, "  %-10s %7d %9.3f %9.3f %9.3f %9.3f\n", row.kind, row.h.Count(),
+			row.h.Quantile(0.5), row.h.Quantile(0.99), row.h.Quantile(0.999), row.h.Max())
+	}
 }
 
 func sortedReasonKeys(m map[obs.Reason]int) []obs.Reason {

@@ -216,3 +216,50 @@ func TestRunErrors(t *testing.T) {
 		t.Error("two positional args accepted")
 	}
 }
+
+// TestSpanDurationsAndDrift checks the per-span-kind quantile table and
+// the qos.drift / trace.dropped accounting added with the live
+// observability plane.
+func TestSpanDurationsAndDrift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "drift.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONLSink(f)
+	tr := obs.New(sink)
+	tr.RequestReceived(1, 0)
+	tr.ProbeSpawned(1, 1, 0, 2, 1.5)
+	tr.HoldAcquired(1, 1, 0, 2)
+	tr.ProbeReturned(1, 1, 2, 8.0)
+	tr.Decided(1, 0, "")
+	tr.HoldReleased(1, -1)
+	tr.Committed(1, 0)
+	tr.QoSDrift("1", 1.4, 1, obs.ReasonDriftExceeded)
+	tr.QoSDrift("1", 0.9, 1, obs.ReasonDriftRecovered)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"qos drift        1 exceeded, 1 recovered",
+		"span durations (ms):",
+		// The probe span's duration is its recorded walk RTT.
+		"probe            1     8.000",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "TRACE GAPS") {
+		t.Errorf("unexpected trace gap warning:\n%s", got)
+	}
+}

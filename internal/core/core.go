@@ -108,6 +108,10 @@ type Env struct {
 	// prunes, holds, returns, commits). nil disables tracing; the probe
 	// hot path then pays only a pointer check.
 	Tracer *obs.Tracer
+	// Obs, when non-nil, receives the composer's latency instruments
+	// (probe-walk round trip, probes per request). nil disables them at
+	// the cost of a pointer check per observation.
+	Obs *obs.Registry
 }
 
 func (e *Env) validate() error {
@@ -214,6 +218,11 @@ type Composer struct {
 
 	walk    walkState
 	scratch walkScratch
+
+	// walkRtt and walkProbes are resolved once from Env.Obs (nil, and
+	// therefore no-op, when observability is off).
+	walkRtt    *obs.QHistogram
+	walkProbes *obs.QHistogram
 }
 
 // NewComposer validates the environment and configuration.
@@ -252,6 +261,8 @@ func NewComposer(env Env, cfg Config) (*Composer, error) {
 	}
 	c := &Composer{env: env, cfg: cfg}
 	c.scratch = newWalkScratch(&c.env)
+	c.walkRtt = env.Obs.QHistogram("core.walk.rtt_ms")
+	c.walkProbes = env.Obs.QHistogram("core.walk.probes")
 	return c, nil
 }
 
@@ -285,12 +296,21 @@ func (c *Composer) Probe(req *component.Request) (*Outcome, error) {
 	if req.Client < 0 || req.Client >= c.env.Mesh.NumNodes() {
 		return nil, fmt.Errorf("core: request %d client %d out of range", req.ID, req.Client)
 	}
+	var (
+		out *Outcome
+		err error
+	)
 	switch c.cfg.Algorithm {
 	case AlgRandom, AlgStatic:
-		return c.probeDirect(req)
+		out, err = c.probeDirect(req)
 	default:
-		return c.probeWalk(req)
+		out, err = c.probeWalk(req)
 	}
+	if err == nil && out != nil {
+		c.walkRtt.Observe(float64(out.Latency) / float64(time.Millisecond))
+		c.walkProbes.Observe(float64(out.ProbesSent))
+	}
+	return out, err
 }
 
 // Commit makes a successful outcome's composition permanent: transient

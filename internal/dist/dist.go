@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -151,6 +152,20 @@ type instruments struct {
 	holdsSwept     *obs.Counter
 	composeRetries *obs.Counter
 	releasesLost   *obs.Counter
+
+	// Deputy phase latencies as auto-ranging quantile histograms:
+	// collect is compose-arrival to decision, commit is decision to the
+	// final commit ack (or rollback).
+	collectMs *obs.QHistogram
+	commitMs  *obs.QHistogram
+
+	// Per-session gauges, set at commit and deleted at release, so every
+	// live composition exposes its observed phi and its Eq. 3 standing
+	// (MaxRatio of accumulated QoS to requirement; <= 1 satisfies the
+	// requirement, so the required gauge is the constant 1).
+	sessionPhi    *obs.GaugeVec
+	sessionQoS    *obs.GaugeVec
+	sessionQoSReq *obs.GaugeVec
 }
 
 func newInstruments(r *obs.Registry) instruments {
@@ -171,6 +186,13 @@ func newInstruments(r *obs.Registry) instruments {
 		holdsSwept:     r.Counter("dist.holds.swept"),
 		composeRetries: r.Counter("dist.compose.retries"),
 		releasesLost:   r.Counter("dist.releases.lost"),
+
+		collectMs: r.QHistogram("dist.phase.collect_ms"),
+		commitMs:  r.QHistogram("dist.phase.commit_ms"),
+
+		sessionPhi:    r.GaugeVec("session.phi", "session"),
+		sessionQoS:    r.GaugeVec("session.qos.observed", "session"),
+		sessionQoSReq: r.GaugeVec("session.qos.required", "session"),
 	}
 }
 
@@ -526,6 +548,10 @@ func (c *Cluster) Release(req *component.Request, comp *Composition) {
 		c.sendRelease(nodeID, comp.owner)
 	}
 	c.links.release(demands.links)
+	sess := strconv.FormatInt(comp.owner, 10)
+	c.ins.sessionPhi.Delete(sess)
+	c.ins.sessionQoS.Delete(sess)
+	c.ins.sessionQoSReq.Delete(sess)
 	c.tracer.SessionReleased(comp.owner)
 }
 

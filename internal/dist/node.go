@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/component"
@@ -109,12 +110,18 @@ type pendingCompose struct {
 	alpha   float64
 	returns []returnMsg
 	decided bool
+	// composeStart is the compose arrival on the cluster clock; the
+	// collect phase runs from here to the decision.
+	composeStart time.Time
 
 	// commit phase
 	comp       *Composition
 	needAcks   map[int]bool // node -> acked
 	nodeDemand map[int]qos.Resources
 	linkDemand map[int]float64
+	// commitStart is the decision instant; the commit phase runs from
+	// here to the final ack or rollback.
+	commitStart time.Time
 }
 
 // node is one stream processing host: a goroutine owning its end-system
@@ -464,7 +471,8 @@ func (n *node) onCompose(msg composeMsg) {
 		alpha = n.c.cfg.ProbingRatio
 	}
 	n.c.tracer.RequestReceived(msg.req.ID, n.id)
-	p := &pendingCompose{req: msg.req, order: order, reply: msg.reply, alpha: alpha}
+	p := &pendingCompose{req: msg.req, order: order, reply: msg.reply, alpha: alpha,
+		composeStart: n.c.clock.Now()}
 	n.pending[msg.req.ID] = p
 
 	sent := n.fanOut(msg.req, order, 0,
@@ -705,6 +713,7 @@ func (n *node) onDecide(reqID int64) {
 		return
 	}
 	p.decided = true
+	n.c.ins.collectMs.Observe(float64(n.c.clock.Since(p.composeStart)) / float64(time.Millisecond))
 
 	var (
 		best    *Composition
@@ -738,6 +747,7 @@ func (n *node) onDecide(reqID int64) {
 		return
 	}
 	p.comp = best
+	p.commitStart = n.c.clock.Now()
 	p.linkDemand = bestDem.links
 	p.nodeDemand = bestDem.nodes
 	p.needAcks = make(map[int]bool, len(bestDem.nodes))
@@ -888,6 +898,11 @@ func (n *node) onCommitAck(msg commitAckMsg) {
 	delete(n.pending, msg.reqID)
 	n.c.tracer.Committed(msg.reqID, n.id)
 	n.c.ins.commits.Inc()
+	n.c.ins.commitMs.Observe(float64(n.c.clock.Since(p.commitStart)) / float64(time.Millisecond))
+	sess := strconv.FormatInt(msg.reqID, 10)
+	n.c.ins.sessionPhi.With(sess).Set(p.comp.Phi)
+	n.c.ins.sessionQoS.With(sess).Set(p.comp.QoS.MaxRatio(p.req.QoSReq))
+	n.c.ins.sessionQoSReq.With(sess).Set(1)
 	p.reply <- composeReply{comp: p.comp}
 }
 
@@ -911,6 +926,9 @@ func (n *node) rollback(p *pendingCompose, reqID int64, reason obs.Reason) {
 	delete(n.pending, reqID)
 	n.c.tracer.RolledBack(reqID, n.id, reason)
 	n.c.ins.rollbacks.Inc()
+	if p.comp != nil {
+		n.c.ins.commitMs.Observe(float64(n.c.clock.Since(p.commitStart)) / float64(time.Millisecond))
+	}
 	n.c.links.release(p.linkDemand)
 	for _, nodeID := range sortedNodeKeys(p.nodeDemand) {
 		if nodeID == n.id {

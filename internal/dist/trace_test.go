@@ -75,3 +75,51 @@ func TestTracedComposeBalancesSpans(t *testing.T) {
 		t.Errorf("spawned spans %d exceed sent %d + dropped %d", spawned, sent, dropped)
 	}
 }
+
+// TestPhaseAndSessionInstruments checks the live-plane additions on the
+// dist engine: collect/commit phase latency quantiles record per
+// decision, a committed composition publishes its session gauges, and
+// Release deletes them.
+func TestPhaseAndSessionInstruments(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Registry = reg
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	req := easyRequest(1)
+	comp, err := c.Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if q := snap.Quantiles["dist.phase.collect_ms"]; q.Count == 0 {
+		t.Error("no collect-phase latency recorded")
+	}
+	if q := snap.Quantiles["dist.phase.commit_ms"]; q.Count == 0 {
+		t.Error("no commit-phase latency recorded")
+	}
+	sessVals := snap.GaugeVecs["session.phi"].Values
+	if len(sessVals) != 1 {
+		t.Fatalf("session.phi children = %+v, want 1", sessVals)
+	}
+	if sessVals[0].Value != comp.Phi {
+		t.Errorf("session.phi = %v, composition phi %v", sessVals[0].Value, comp.Phi)
+	}
+	obsVals := snap.GaugeVecs["session.qos.observed"].Values
+	if len(obsVals) != 1 || obsVals[0].Value <= 0 || obsVals[0].Value > 1 {
+		t.Errorf("session.qos.observed = %+v, want one child in (0, 1]", obsVals)
+	}
+
+	c.Release(req, comp)
+	snap = reg.Snapshot()
+	for _, vec := range []string{"session.phi", "session.qos.observed", "session.qos.required"} {
+		if n := len(snap.GaugeVecs[vec].Values); n != 0 {
+			t.Errorf("%s has %d children after Release, want 0", vec, n)
+		}
+	}
+}

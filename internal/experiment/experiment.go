@@ -341,6 +341,7 @@ func Run(p *Platform, rc RunConfig) (*Result, error) {
 		Now:      engine.Now,
 		Rand:     rng,
 		Tracer:   cfg.Tracer,
+		Obs:      cfg.Registry,
 	}
 	ccfg := core.Config{
 		Algorithm:           cfg.Algorithm,

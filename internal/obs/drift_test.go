@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/harness/clock"
+)
+
+// driftFixture wires a registry-backed monitor over one observed /
+// required gauge pair.
+func driftFixture(t *testing.T, tol float64) (*Registry, *GaugeVec, *GaugeVec, *DriftMonitor, *[]DriftEvent) {
+	t.Helper()
+	r := NewRegistry()
+	observed := r.GaugeVec("session.qos.observed", "session")
+	required := r.GaugeVec("session.qos.required", "session")
+	var got []DriftEvent
+	m := NewDriftMonitor(DriftConfig{
+		Observed:  observed,
+		Required:  required,
+		Tolerance: tol,
+		Registry:  r,
+		OnDrift:   func(ev DriftEvent) { got = append(got, ev) },
+	})
+	return r, observed, required, m, &got
+}
+
+func TestDriftMonitorTransitions(t *testing.T) {
+	r, observed, required, m, got := driftFixture(t, 0)
+
+	observed.With("7").Set(0.8)
+	required.With("7").Set(1)
+	if evs := m.Tick(); len(evs) != 0 {
+		t.Fatalf("healthy session produced events: %+v", evs)
+	}
+
+	// Cross into violation: exactly one exceeded event, level-triggered.
+	observed.With("7").Set(1.5)
+	evs := m.Tick()
+	if len(evs) != 1 || !evs[0].Exceeded || evs[0].Session != "7" {
+		t.Fatalf("expected one exceeded event for session 7, got %+v", evs)
+	}
+	if evs[0].Observed != 1.5 || evs[0].Required != 1 {
+		t.Fatalf("event values = %+v", evs[0])
+	}
+	if evs := m.Tick(); len(evs) != 0 {
+		t.Fatalf("still-violating session re-reported: %+v", evs)
+	}
+
+	// Recover: one recovered event.
+	observed.With("7").Set(0.9)
+	evs = m.Tick()
+	if len(evs) != 1 || evs[0].Exceeded {
+		t.Fatalf("expected one recovered event, got %+v", evs)
+	}
+
+	// Counters and callback agree with the transitions seen.
+	s := r.Snapshot()
+	if c := s.Counters["obs.drift.exceeded_total"]; c != 1 {
+		t.Fatalf("exceeded_total = %d, want 1", c)
+	}
+	if c := s.Counters["obs.drift.recovered_total"]; c != 1 {
+		t.Fatalf("recovered_total = %d, want 1", c)
+	}
+	if g := s.Gauges["obs.drift.sessions_exceeded"]; g != 0 {
+		t.Fatalf("sessions_exceeded = %v, want 0", g)
+	}
+	if len(*got) != 2 {
+		t.Fatalf("OnDrift saw %d events, want 2", len(*got))
+	}
+}
+
+func TestDriftMonitorToleranceAndSkips(t *testing.T) {
+	_, observed, required, m, _ := driftFixture(t, 0.25)
+
+	// Within tolerance headroom: 1.2 <= 1 * 1.25.
+	observed.With("a").Set(1.2)
+	required.With("a").Set(1)
+	if evs := m.Tick(); len(evs) != 0 {
+		t.Fatalf("within-tolerance session drifted: %+v", evs)
+	}
+	observed.With("a").Set(1.3)
+	if evs := m.Tick(); len(evs) != 1 || !evs[0].Exceeded {
+		t.Fatalf("beyond-tolerance session missed: %+v", evs)
+	}
+
+	// A session with no requirement child is skipped entirely.
+	observed.With("orphan").Set(99)
+	if evs := m.Tick(); len(evs) != 0 {
+		t.Fatalf("requirement-less session drifted: %+v", evs)
+	}
+}
+
+func TestDriftMonitorForgetsReleasedSessions(t *testing.T) {
+	r, observed, required, m, _ := driftFixture(t, 0)
+
+	observed.With("s1").Set(2)
+	required.With("s1").Set(1)
+	if evs := m.Tick(); len(evs) != 1 {
+		t.Fatalf("expected drift, got %+v", evs)
+	}
+
+	// Releasing the session removes its gauges; the monitor forgets it
+	// without a phantom recovery event.
+	observed.Delete("s1")
+	required.Delete("s1")
+	if evs := m.Tick(); len(evs) != 0 {
+		t.Fatalf("released session produced events: %+v", evs)
+	}
+	if g := r.Snapshot().Gauges["obs.drift.sessions_exceeded"]; g != 0 {
+		t.Fatalf("sessions_exceeded = %v after release, want 0", g)
+	}
+
+	// If the same session name comes back violating it reports anew.
+	observed.With("s1").Set(2)
+	required.With("s1").Set(1)
+	if evs := m.Tick(); len(evs) != 1 || !evs[0].Exceeded {
+		t.Fatalf("re-registered session missed: %+v", evs)
+	}
+}
+
+// TestDriftMonitorVirtualClock drives Start's tick chain on the
+// harness Virtual clock: ticks land synchronously at exact simulated
+// instants, so the whole schedule is deterministic.
+func TestDriftMonitorVirtualClock(t *testing.T) {
+	r := NewRegistry()
+	observed := r.GaugeVec("session.qos.observed", "session")
+	required := r.GaugeVec("session.qos.required", "session")
+	tr := NewLive()
+	sub := tr.Subscribe(16)
+	defer sub.Close()
+
+	vc := clock.NewVirtual()
+	m := NewDriftMonitor(DriftConfig{
+		Observed: observed,
+		Required: required,
+		Period:   time.Second,
+		Clock:    vc,
+		Tracer:   tr,
+		Registry: r,
+	})
+	m.Start()
+	defer m.Stop()
+
+	observed.With("9").Set(3)
+	required.With("9").Set(1)
+
+	vc.Advance(2500 * time.Millisecond) // ticks at 1s and 2s
+	if c := r.Snapshot().Counters["obs.drift.ticks"]; c != 2 {
+		t.Fatalf("ticks = %d after 2.5s, want 2", c)
+	}
+
+	evs := sub.Drain()
+	if len(evs) != 1 || evs[0].Type != EventQoSDrift || evs[0].Reason != ReasonDriftExceeded {
+		t.Fatalf("trace events = %+v, want one qos.drift exceeded", evs)
+	}
+	if evs[0].Session != "9" || evs[0].Observed != 3 || evs[0].Required != 1 {
+		t.Fatalf("qos.drift payload = %+v", evs[0])
+	}
+
+	observed.With("9").Set(0.5)
+	vc.Advance(time.Second)
+	evs = sub.Drain()
+	if len(evs) != 1 || evs[0].Reason != ReasonDriftRecovered {
+		t.Fatalf("trace events = %+v, want one qos.drift recovered", evs)
+	}
+
+	m.Stop()
+	vc.Advance(10 * time.Second)
+	if c := r.Snapshot().Counters["obs.drift.ticks"]; c != 3 {
+		t.Fatalf("ticks = %d after Stop, want 3", c)
+	}
+}
+
+func TestDriftMonitorNilSafe(t *testing.T) {
+	var m *DriftMonitor
+	if evs := m.Tick(); evs != nil {
+		t.Fatalf("nil monitor ticked: %+v", evs)
+	}
+	m.Start()
+	m.Stop()
+
+	// A monitor with no gauges configured is inert too.
+	inert := NewDriftMonitor(DriftConfig{})
+	if evs := inert.Tick(); evs != nil {
+		t.Fatalf("unconfigured monitor ticked: %+v", evs)
+	}
+	inert.Start()
+	inert.Stop()
+}

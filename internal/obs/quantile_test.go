@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestQHistogramBasics(t *testing.T) {
+	h := NewQHistogram()
+	for _, v := range []float64{1, 2, 4, 8} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 15 {
+		t.Fatalf("Sum = %v, want 15", h.Sum())
+	}
+	if h.Min() != 1 || h.Max() != 8 {
+		t.Fatalf("Min/Max = %v/%v, want 1/8", h.Min(), h.Max())
+	}
+	// The p0..p25 rank is the minimum's bucket (midpoint within one
+	// sub-bucket of 1); p100 clamps the top bucket's midpoint to Max.
+	if q := h.Quantile(0.01); q < 1 || q > 1.04 {
+		t.Fatalf("Quantile(0.01) = %v, want ~1", q)
+	}
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("Quantile(1) = %v, want 8", q)
+	}
+}
+
+func TestQHistogramEdgeValues(t *testing.T) {
+	h := NewQHistogram()
+	h.Observe(0)
+	h.Observe(-3)
+	h.Observe(math.Inf(1))
+	h.Observe(math.NaN())
+	h.Observe(5)
+	// NaN counts as an observation (in the zero bucket — !(NaN > 0))
+	// but contributes no sum/min/max; +Inf lands in the overflow bucket
+	// without poisoning the sum.
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 2 { // 0 + -3 + 5
+		t.Fatalf("Sum = %v, want 2", h.Sum())
+	}
+	if h.Min() != -3 || h.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v, want -3/5", h.Min(), h.Max())
+	}
+	// Quantiles over the zero bucket report the recorded (negative) min.
+	if q := h.Quantile(0.2); q != -3 {
+		t.Fatalf("Quantile(0.2) = %v, want -3", q)
+	}
+	// The overflow rank reports the recorded max, not +Inf.
+	if q := h.Quantile(1); q != 5 {
+		t.Fatalf("Quantile(1) = %v, want 5", q)
+	}
+
+	s := h.Snapshot()
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot with Inf observation not marshalable: %v", err)
+	}
+	if s.Buckets[0].Upper != 0 || s.Buckets[0].Count != 3 {
+		t.Fatalf("zero bucket = %+v, want Upper 0 Count 3", s.Buckets[0])
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.Upper != math.MaxFloat64 || last.Count != 1 {
+		t.Fatalf("overflow bucket = %+v", last)
+	}
+}
+
+func TestQHistogramNilIsNoOp(t *testing.T) {
+	var h *QHistogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil QHistogram not a no-op")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+// exactQuantile mirrors QHistogram.Quantile's rank rule (the sample at
+// 1-based rank ceil(p*n)) on the raw values.
+func exactQuantile(sorted []float64, p float64) float64 {
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileAccuracyProperty is the estimator's accuracy contract:
+// for seeded uniform, lognormal, and bimodal distributions, every
+// reported quantile falls within one log-bucket of the exact
+// same-rank sample quantile.
+func TestQuantileAccuracyProperty(t *testing.T) {
+	distributions := []struct {
+		name string
+		gen  func(r *rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() * 1000 }},
+		{"lognormal", func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64()*2 + 1) }},
+		{"bimodal", func(r *rand.Rand) float64 {
+			if r.Intn(2) == 0 {
+				return 1 + r.Float64() // fast mode ~1ms
+			}
+			return 250 + 50*r.Float64() // slow mode ~250ms
+		}},
+	}
+	quantiles := []float64{0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+
+	for _, dist := range distributions {
+		for seed := int64(1); seed <= 5; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			h := NewQHistogram()
+			samples := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				v := dist.gen(r)
+				h.Observe(v)
+				samples = append(samples, v)
+			}
+			sort.Float64s(samples)
+			for _, p := range quantiles {
+				exact := exactQuantile(samples, p)
+				got := h.Quantile(p)
+				// The exact sample's log bucket, widened by one bucket
+				// either side: estimate and exact may straddle a bucket
+				// boundary, but never by more than one bucket width.
+				lo, _ := qBucketBounds(qBucketIndex(exact) - 1)
+				_, hi := qBucketBounds(qBucketIndex(exact) + 1)
+				// Clamping to recorded Min/Max can only tighten toward
+				// the true value.
+				if got < math.Min(lo, exact) || got > math.Max(hi, exact) {
+					t.Errorf("%s seed %d: Quantile(%v) = %v, exact %v, allowed [%v, %v]",
+						dist.name, seed, p, got, exact, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestQHistogramBucketRoundTrip pins the bucket index math: every
+// bucket's own bounds map back to its index.
+func TestQHistogramBucketRoundTrip(t *testing.T) {
+	for idx := 0; idx < qBuckets; idx += 7 {
+		lo, hi := qBucketBounds(idx)
+		if got := qBucketIndex(lo); got != idx {
+			t.Fatalf("bucket %d: lower bound %g maps to bucket %d", idx, lo, got)
+		}
+		mid := lo + (hi-lo)/2
+		if got := qBucketIndex(mid); got != idx {
+			t.Fatalf("bucket %d: midpoint %g maps to bucket %d", idx, mid, got)
+		}
+	}
+}
+
+// TestQHistogramConcurrent hammers Observe, Quantile, and Snapshot from
+// many goroutines; run under -race this is the data-race gate for the
+// lock-free hot path.
+func TestQHistogramConcurrent(t *testing.T) {
+	h := NewQHistogram()
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Observe(r.Float64() * 100)
+			}
+		}(int64(w + 1))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = h.Quantile(0.99)
+			_ = h.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != writers*perWriter {
+		t.Fatalf("Count = %d, want %d", h.Count(), writers*perWriter)
+	}
+	s := h.Snapshot()
+	var n int64
+	for _, b := range s.Buckets {
+		n += b.Count
+	}
+	if n != h.Count() {
+		t.Fatalf("bucket counts sum to %d, want %d", n, h.Count())
+	}
+}
+
+// TestObserveAllocationFree guards the hot path: Observe must not
+// allocate, enabled or disabled.
+func TestObserveAllocationFree(t *testing.T) {
+	h := NewQHistogram()
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(3.7) }); n != 0 {
+		t.Errorf("live Observe allocates %v per call", n)
+	}
+	var nilH *QHistogram
+	if n := testing.AllocsPerRun(1000, func() { nilH.Observe(3.7) }); n != 0 {
+		t.Errorf("nil Observe allocates %v per call", n)
+	}
+}
+
+func BenchmarkQHistogramObserve(b *testing.B) {
+	h := NewQHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) + 0.5)
+	}
+}
+
+func BenchmarkQHistogramObserveDisabled(b *testing.B) {
+	var h *QHistogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) + 0.5)
+	}
+}
+
+func BenchmarkQHistogramQuantile(b *testing.B) {
+	h := NewQHistogram()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Observe(math.Exp(r.NormFloat64() * 2))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.99)
+	}
+}

@@ -1,7 +1,10 @@
 // Package obs is the zero-dependency observability layer: a
 // concurrency-safe instrument registry (counters, gauges, fixed-bucket
-// histograms) and a probe-lifecycle tracer emitting structured span
-// events.
+// histograms, auto-ranging quantile histograms, and labeled instrument
+// vectors), a probe-lifecycle tracer emitting structured span events
+// with an in-process subscription fanout, an HTTP scrape surface
+// (Serve), and a QoS drift monitor comparing per-session observed
+// gauges against their Eq. 3 requirements.
 //
 // Both halves are nil-safe: a nil *Registry hands out nil instruments,
 // and every operation on a nil instrument or nil *Tracer is a no-op
@@ -137,14 +140,36 @@ type Registry struct {
 	gauges map[string]*Gauge
 	// histograms indexes histograms by name. guarded by mu
 	histograms map[string]*Histogram
+	// quantiles indexes quantile histograms by name. guarded by mu
+	quantiles map[string]*QHistogram
+	// counterVecs indexes counter vectors by name. guarded by mu
+	counterVecs map[string]*CounterVec
+	// gaugeVecs indexes gauge vectors by name. guarded by mu
+	gaugeVecs map[string]*GaugeVec
+	// histogramVecs indexes histogram vectors by name. guarded by mu
+	histogramVecs map[string]*HistogramVec
+
+	// boundsConflicts counts Histogram calls whose bounds disagreed with
+	// the bounds the named histogram was created with. Surfaced in
+	// snapshots as the counter "obs.registry.histogram_bounds_conflicts"
+	// once nonzero.
+	boundsConflicts Counter
+	// labelErrors counts vector lookups with the wrong label arity and
+	// vector re-registrations with different label names. Surfaced as
+	// the counter "obs.registry.label_errors" once nonzero.
+	labelErrors Counter
 }
 
 // NewRegistry returns an empty instrument registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		histograms:    make(map[string]*Histogram),
+		quantiles:     make(map[string]*QHistogram),
+		counterVecs:   make(map[string]*CounterVec),
+		gaugeVecs:     make(map[string]*GaugeVec),
+		histogramVecs: make(map[string]*HistogramVec),
 	}
 }
 
@@ -191,8 +216,12 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named histogram, creating it with the given
-// ascending bucket upper bounds on first use; later calls ignore bounds.
-// A nil registry returns a nil (no-op) histogram.
+// ascending bucket upper bounds on first use. Later calls must pass the
+// same bounds (in any order): the first registration wins, but a
+// mismatch is recorded — not silently ignored — in the
+// "obs.registry.histogram_bounds_conflicts" counter (see
+// HistogramBoundsConflicts), so a dashboard showing misleading buckets
+// has a tell. A nil registry returns a nil (no-op) histogram.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
@@ -201,17 +230,190 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	h := r.histograms[name]
 	r.mu.RUnlock()
 	if h != nil {
+		r.checkBounds(h, bounds)
 		return h
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if h = r.histograms[name]; h == nil {
 		b := append([]float64(nil), bounds...)
 		sort.Float64s(b)
 		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
 		r.histograms[name] = h
+		r.mu.Unlock()
+		return h
+	}
+	r.mu.Unlock()
+	r.checkBounds(h, bounds)
+	return h
+}
+
+// checkBounds bumps the conflict counter when bounds disagree with the
+// histogram's registered bounds. The comparison sorts a copy, matching
+// what registration does.
+func (r *Registry) checkBounds(h *Histogram, bounds []float64) {
+	if len(bounds) != len(h.bounds) {
+		r.boundsConflicts.Inc()
+		return
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	for i := range b {
+		if b[i] != h.bounds[i] {
+			r.boundsConflicts.Inc()
+			return
+		}
+	}
+}
+
+// HistogramBoundsConflicts returns how many Histogram lookups passed
+// bounds that disagreed with the registered histogram's bounds; 0 on a
+// nil registry.
+func (r *Registry) HistogramBoundsConflicts() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.boundsConflicts.Value()
+}
+
+// LabelErrors returns how many vector operations used a wrong label
+// arity or re-registered a vector with different label names; 0 on a
+// nil registry.
+func (r *Registry) LabelErrors() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.labelErrors.Value()
+}
+
+// QHistogram returns the named quantile histogram, creating it on first
+// use. A nil registry returns a nil (no-op) histogram.
+func (r *Registry) QHistogram(name string) *QHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.quantiles[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.quantiles[name]; h == nil {
+		h = NewQHistogram()
+		r.quantiles[name] = h
 	}
 	return h
+}
+
+// checkLabels bumps the label-error counter when a vector is looked up
+// again with different label names.
+func (r *Registry) checkLabels(existing, labels []string) {
+	if len(existing) != len(labels) {
+		r.labelErrors.Inc()
+		return
+	}
+	for i := range labels {
+		if labels[i] != existing[i] {
+			r.labelErrors.Inc()
+			return
+		}
+	}
+}
+
+// CounterVec returns the named counter vector with the given label
+// names, creating it on first use. The first registration's label names
+// win; a later call with different names gets the existing vector and
+// bumps the "obs.registry.label_errors" counter. A nil registry returns
+// a nil (no-op) vector.
+func (r *Registry) CounterVec(name string, labelNames ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.counterVecs[name]
+	r.mu.RUnlock()
+	if v == nil {
+		r.mu.Lock()
+		if v = r.counterVecs[name]; v == nil {
+			v = &CounterVec{
+				vecCore: vecCore{
+					labels:   append([]string(nil), labelNames...),
+					children: make(map[string][]string),
+					onArity:  r.labelErrors.Inc,
+				},
+				byKey: make(map[string]*Counter),
+			}
+			r.counterVecs[name] = v
+			r.mu.Unlock()
+			return v
+		}
+		r.mu.Unlock()
+	}
+	r.checkLabels(v.labels, labelNames)
+	return v
+}
+
+// GaugeVec returns the named gauge vector with the given label names,
+// creating it on first use. Registration semantics match CounterVec.
+// A nil registry returns a nil (no-op) vector.
+func (r *Registry) GaugeVec(name string, labelNames ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.gaugeVecs[name]
+	r.mu.RUnlock()
+	if v == nil {
+		r.mu.Lock()
+		if v = r.gaugeVecs[name]; v == nil {
+			v = &GaugeVec{
+				vecCore: vecCore{
+					labels:   append([]string(nil), labelNames...),
+					children: make(map[string][]string),
+					onArity:  r.labelErrors.Inc,
+				},
+				byKey: make(map[string]*Gauge),
+			}
+			r.gaugeVecs[name] = v
+			r.mu.Unlock()
+			return v
+		}
+		r.mu.Unlock()
+	}
+	r.checkLabels(v.labels, labelNames)
+	return v
+}
+
+// HistogramVec returns the named quantile-histogram vector with the
+// given label names, creating it on first use. Registration semantics
+// match CounterVec. A nil registry returns a nil (no-op) vector.
+func (r *Registry) HistogramVec(name string, labelNames ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.histogramVecs[name]
+	r.mu.RUnlock()
+	if v == nil {
+		r.mu.Lock()
+		if v = r.histogramVecs[name]; v == nil {
+			v = &HistogramVec{
+				vecCore: vecCore{
+					labels:   append([]string(nil), labelNames...),
+					children: make(map[string][]string),
+					onArity:  r.labelErrors.Inc,
+				},
+				byKey: make(map[string]*QHistogram),
+			}
+			r.histogramVecs[name] = v
+			r.mu.Unlock()
+			return v
+		}
+		r.mu.Unlock()
+	}
+	r.checkLabels(v.labels, labelNames)
+	return v
 }
 
 // HistogramSnapshot is one histogram's state at snapshot time.
@@ -229,15 +431,25 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// The vector and quantile maps are omitted from JSON while empty so
+	// snapshots from registries predating them are byte-identical.
+	Quantiles     map[string]QHistogramSnapshot   `json:"quantiles,omitempty"`
+	CounterVecs   map[string]VecSnapshot          `json:"counterVecs,omitempty"`
+	GaugeVecs     map[string]VecSnapshot          `json:"gaugeVecs,omitempty"`
+	HistogramVecs map[string]HistogramVecSnapshot `json:"histogramVecs,omitempty"`
 }
 
 // Snapshot copies the registry's current state. A nil registry yields an
 // empty snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters:   make(map[string]int64),
-		Gauges:     make(map[string]float64),
-		Histograms: make(map[string]HistogramSnapshot),
+		Counters:      make(map[string]int64),
+		Gauges:        make(map[string]float64),
+		Histograms:    make(map[string]HistogramSnapshot),
+		Quantiles:     make(map[string]QHistogramSnapshot),
+		CounterVecs:   make(map[string]VecSnapshot),
+		GaugeVecs:     make(map[string]VecSnapshot),
+		HistogramVecs: make(map[string]HistogramVecSnapshot),
 	}
 	if r == nil {
 		return s
@@ -255,6 +467,26 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[name] = HistogramSnapshot{
 			Bounds: bounds, Counts: counts, Count: h.Count(), Sum: h.Sum(),
 		}
+	}
+	for name, q := range r.quantiles {
+		s.Quantiles[name] = q.Snapshot()
+	}
+	for name, v := range r.counterVecs {
+		s.CounterVecs[name] = v.Snapshot()
+	}
+	for name, v := range r.gaugeVecs {
+		s.GaugeVecs[name] = v.Snapshot()
+	}
+	for name, v := range r.histogramVecs {
+		s.HistogramVecs[name] = v.Snapshot()
+	}
+	// Self-monitoring counters appear once they have something to say,
+	// keeping snapshots from clean registries unchanged.
+	if n := r.boundsConflicts.Value(); n > 0 {
+		s.Counters["obs.registry.histogram_bounds_conflicts"] = n
+	}
+	if n := r.labelErrors.Value(); n > 0 {
+		s.Counters["obs.registry.label_errors"] = n
 	}
 	return s
 }
@@ -292,7 +524,58 @@ func (r *Registry) WriteText(w io.Writer) error {
 			return err
 		}
 	}
+	for _, name := range sortedKeys(s.Quantiles) {
+		q := s.Quantiles[name]
+		if _, err := fmt.Fprintf(w, "quantile %s count=%d sum=%g min=%g max=%g p50=%g p90=%g p99=%g p999=%g\n",
+			name, q.Count, q.Sum, q.Min, q.Max, q.P50, q.P90, q.P99, q.P999); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.CounterVecs) {
+		v := s.CounterVecs[name]
+		for _, lv := range v.Values {
+			if _, err := fmt.Fprintf(w, "countervec %s%s %d\n",
+				name, labelText(v.LabelNames, lv.Labels), int64(lv.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedKeys(s.GaugeVecs) {
+		v := s.GaugeVecs[name]
+		for _, lv := range v.Values {
+			if _, err := fmt.Fprintf(w, "gaugevec %s%s %g\n",
+				name, labelText(v.LabelNames, lv.Labels), lv.Value); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedKeys(s.HistogramVecs) {
+		v := s.HistogramVecs[name]
+		for _, lh := range v.Values {
+			q := lh.Histogram
+			if _, err := fmt.Fprintf(w, "histogramvec %s%s count=%d p50=%g p99=%g p999=%g\n",
+				name, labelText(v.LabelNames, lh.Labels), q.Count, q.P50, q.P99, q.P999); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// labelText renders a label tuple as {k1="v1",k2="v2"}.
+func labelText(names, values []string) string {
+	out := "{"
+	for i, v := range values {
+		if i > 0 {
+			out += ","
+		}
+		name := "?"
+		if i < len(names) {
+			name = names[i]
+		}
+		out += fmt.Sprintf("%s=%q", name, v)
+	}
+	return out + "}"
 }
 
 // PublishExpvar exposes the registry's live snapshot under the given

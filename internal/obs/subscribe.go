@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Subscription is one live consumer of a tracer's event stream: a
+// bounded ring the tracer pushes every emitted event into, drained by
+// the consumer at its own pace. The emit path never blocks on a slow
+// consumer — when the ring is full the oldest buffered event is
+// overwritten and the loss is counted, then surfaced in-stream as a
+// synthetic trace.dropped event on the next Drain. That makes the
+// tracer safe to share between the engine's hot path and an arbitrary
+// number of /trace clients.
+type Subscription struct {
+	t      *Tracer
+	notify chan struct{}
+
+	mu     sync.Mutex
+	ring   []Event // guarded by mu
+	head   int     // index of the oldest buffered event. guarded by mu
+	size   int     // guarded by mu
+	missed int64   // events lost since the last Drain. guarded by mu
+	closed bool    // guarded by mu
+
+	drops atomic.Int64 // events lost over the subscription's lifetime
+}
+
+// Subscribe attaches a new subscription buffering up to capacity events
+// (a default of 1024 when capacity is not positive). A nil tracer
+// returns a nil subscription, on which every method is a no-op.
+func (t *Tracer) Subscribe(capacity int) *Subscription {
+	if t == nil {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	s := &Subscription{
+		t:      t,
+		ring:   make([]Event, capacity),
+		notify: make(chan struct{}, 1),
+	}
+	t.subsMu.Lock()
+	var list []*Subscription
+	if old := t.subs.Load(); old != nil {
+		list = append(list, *old...)
+	}
+	list = append(list, s)
+	t.subs.Store(&list)
+	t.subsMu.Unlock()
+	return s
+}
+
+// push appends one event, overwriting the oldest when full. Called from
+// the tracer's emit path; must never block.
+func (s *Subscription) push(e Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.ring[(s.head+s.size)%len(s.ring)] = e
+	if s.size == len(s.ring) {
+		s.head = (s.head + 1) % len(s.ring)
+		s.missed++
+		s.drops.Add(1)
+	} else {
+		s.size++
+	}
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Ready returns a channel that receives a token whenever new events
+// arrive (and when the subscription closes), coalescing bursts into one
+// wakeup. Pair each receive with a Drain. Nil on a nil subscription.
+func (s *Subscription) Ready() <-chan struct{} {
+	if s == nil {
+		return nil
+	}
+	return s.notify
+}
+
+// Drain removes and returns everything buffered, in emission order.
+// When ring overflow lost events since the previous Drain, the batch
+// opens with a synthetic trace.dropped event whose Count is the number
+// lost (timestamped like the oldest surviving event). Returns nil when
+// nothing is buffered.
+func (s *Subscription) Drain() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.size == 0 && s.missed == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	out := make([]Event, 0, s.size+1)
+	if s.missed > 0 {
+		dropped := Event{Type: EventTraceDropped, Pos: -1, Node: -1, Count: int(s.missed)}
+		if s.size > 0 {
+			dropped.AtMicros = s.ring[s.head].AtMicros
+		}
+		out = append(out, dropped)
+		s.missed = 0
+	}
+	for i := 0; i < s.size; i++ {
+		out = append(out, s.ring[(s.head+i)%len(s.ring)])
+	}
+	s.head, s.size = 0, 0
+	s.mu.Unlock()
+	return out
+}
+
+// Drops returns how many events the ring overwrote over the
+// subscription's lifetime; 0 on nil.
+func (s *Subscription) Drops() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.drops.Load()
+}
+
+// Closed reports whether Close was called.
+func (s *Subscription) Closed() bool {
+	if s == nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close detaches the subscription from its tracer and wakes any Ready
+// waiter. Buffered events remain drainable. Safe to call twice.
+func (s *Subscription) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	t := s.t
+	t.subsMu.Lock()
+	if old := t.subs.Load(); old != nil {
+		list := make([]*Subscription, 0, len(*old))
+		for _, x := range *old {
+			if x != s {
+				list = append(list, x)
+			}
+		}
+		t.subs.Store(&list)
+	}
+	t.subsMu.Unlock()
+
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}

@@ -79,6 +79,15 @@ const (
 	// auditor at the step where the invariant first broke, so a recorded
 	// trace pinpoints the violating schedule position.
 	EventAuditViolation EventType = "audit.violation"
+	// EventQoSDrift marks the drift monitor seeing a session's observed
+	// gauge cross its Eq. 3 requirement (reason drift-exceeded) or come
+	// back under it (drift-recovered). Session, Observed, and Required
+	// carry the comparison.
+	EventQoSDrift EventType = "qos.drift"
+	// EventTraceDropped is synthesized into a subscription's stream in
+	// place of events its bounded ring overwrote; Count says how many
+	// were lost. It never reaches the tracer's base sink.
+	EventTraceDropped EventType = "trace.dropped"
 )
 
 // Reason classifies why a candidate was pruned, a probe dropped, or a
@@ -133,6 +142,12 @@ const (
 	ReasonNodeDown Reason = "node-down"
 	// ReasonNodeCrash: a node outage wiped the in-flight request state.
 	ReasonNodeCrash Reason = "node-crash"
+	// ReasonDriftExceeded: a session's observed gauge crossed its Eq. 3
+	// requirement (qos.drift events).
+	ReasonDriftExceeded Reason = "drift-exceeded"
+	// ReasonDriftRecovered: a previously drifting session came back
+	// under its requirement (qos.drift events).
+	ReasonDriftRecovered Reason = "drift-recovered"
 )
 
 // Event is one structured probe-lifecycle record.
@@ -172,6 +187,12 @@ type Event struct {
 	// Detail carries free-form context on audit.violation events: which
 	// invariant broke and the offending values.
 	Detail string `json:"detail,omitempty"`
+	// Session names the committed session a qos.drift event is about.
+	Session string `json:"session,omitempty"`
+	// Observed is the session's observed gauge value on qos.drift events.
+	Observed float64 `json:"observed,omitempty"`
+	// Required is the session's Eq. 3 requirement on qos.drift events.
+	Required float64 `json:"required,omitempty"`
 }
 
 // OpensSpan reports whether the event opens a probe span.
@@ -221,6 +242,11 @@ type Tracer struct {
 	start    time.Time
 	now      func() time.Duration
 	probeSeq int64 // atomic
+
+	// subs is the copy-on-write live-subscription list (see Subscribe):
+	// emit loads it with one atomic read, mutation happens under subsMu.
+	subs   atomic.Pointer[[]*Subscription]
+	subsMu sync.Mutex
 }
 
 // New wires a tracer to a sink, stamping events with wall-clock time
@@ -232,6 +258,14 @@ func New(sink Sink) *Tracer {
 	return &Tracer{sink: sink, start: time.Now()}
 }
 
+// NewLive returns a tracer with no base sink, for consumers that attach
+// through Subscribe (the /trace endpoint, the drift monitor's event
+// feed). Until the first subscriber arrives the tracer reports
+// disabled and emission costs two atomic loads.
+func NewLive() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
 // SetClock replaces the tracer's timestamp source (e.g. the simulator's
 // virtual clock). Call before emitting from multiple goroutines.
 func (t *Tracer) SetClock(now func() time.Duration) {
@@ -240,12 +274,27 @@ func (t *Tracer) SetClock(now func() time.Duration) {
 	}
 }
 
-// Enabled reports whether events are being recorded. Call sites use it
-// to skip building emission arguments that would need extra work.
-func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+// Enabled reports whether anything consumes emitted events — a base
+// sink or at least one live subscription. Call sites use it to skip
+// building emission arguments that would need extra work.
+func (t *Tracer) Enabled() bool {
+	if t == nil {
+		return false
+	}
+	if t.sink != nil {
+		return true
+	}
+	list := t.subs.Load()
+	return list != nil && len(*list) > 0
+}
 
 func (t *Tracer) emit(e Event) {
-	if t == nil || t.sink == nil {
+	if t == nil {
+		return
+	}
+	list := t.subs.Load()
+	fanout := list != nil && len(*list) > 0
+	if t.sink == nil && !fanout {
 		return
 	}
 	if t.now != nil {
@@ -253,7 +302,21 @@ func (t *Tracer) emit(e Event) {
 	} else {
 		e.AtMicros = time.Since(t.start).Microseconds()
 	}
-	t.sink.Emit(e)
+	if t.sink != nil {
+		t.sink.Emit(e)
+	}
+	if fanout {
+		for _, s := range *list {
+			s.push(e)
+		}
+	}
+}
+
+// QoSDrift records the drift monitor's verdict for one session: its
+// observed gauge crossed (drift-exceeded) or re-satisfied
+// (drift-recovered) the Eq. 3 requirement.
+func (t *Tracer) QoSDrift(session string, observed, required float64, reason Reason) {
+	t.emit(Event{Type: EventQoSDrift, Pos: -1, Node: -1, Session: session, Observed: observed, Required: required, Reason: reason})
 }
 
 // NextProbeID allocates a tracer-unique probe span ID; 0 (the "no span"

@@ -16,7 +16,10 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -143,6 +146,16 @@ type Cluster struct {
 	findFailures   *obs.Counter
 	activeSessions *obs.Gauge
 	findLatencyMs  *obs.Histogram
+	// findQuantiles is the auto-ranging quantile companion of
+	// findLatencyMs: same observations, p50/p99/p999 derivable.
+	findQuantiles *obs.QHistogram
+
+	// Per-session gauges (same families the dist engine exposes): each
+	// live session's phi, its observed Eq. 3 standing (QoS MaxRatio),
+	// and the constant requirement 1. Children are deleted on Close.
+	sessionPhi    *obs.GaugeVec
+	sessionQoS    *obs.GaugeVec
+	sessionQoSReq *obs.GaugeVec
 
 	clock clock.Clock
 
@@ -212,6 +225,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		findFailures:   cfg.Registry.Counter("runtime.find_failures"),
 		activeSessions: cfg.Registry.Gauge("runtime.sessions.active"),
 		findLatencyMs:  cfg.Registry.Histogram("runtime.find.latency_ms", []float64{0.1, 0.5, 1, 5, 10, 50, 100}),
+		findQuantiles:  cfg.Registry.QHistogram("runtime.find.latency_quantiles_ms"),
+
+		sessionPhi:    cfg.Registry.GaugeVec("session.phi", "session"),
+		sessionQoS:    cfg.Registry.GaugeVec("session.qos.observed", "session"),
+		sessionQoSReq: cfg.Registry.GaugeVec("session.qos.required", "session"),
 	}
 	c.ledger = state.NewLedger(mesh, cfg.NodeCapacity, c.now)
 	global, err := state.NewGlobal(c.ledger, mesh, state.DefaultGlobalConfig(), c.counters)
@@ -229,6 +247,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Now:      c.now,
 		Rand:     rng,
 		Tracer:   cfg.Tracer,
+		Obs:      cfg.Registry,
 	}
 	ccfg := core.DefaultConfig()
 	if cfg.Algorithm != 0 {
@@ -347,7 +366,9 @@ func (c *Cluster) Find(graph *component.Graph, qosReq qos.Vector, resReq []qos.R
 	findStart := c.now()
 	c.finds.Inc()
 	outcome, err := c.composer.Probe(req)
-	c.findLatencyMs.Observe(float64(c.now()-findStart) / float64(time.Millisecond))
+	elapsedMs := float64(c.now()-findStart) / float64(time.Millisecond)
+	c.findLatencyMs.Observe(elapsedMs)
+	c.findQuantiles.Observe(elapsedMs)
 	if err != nil {
 		c.findFailures.Inc()
 		return 0, err
@@ -380,7 +401,56 @@ func (c *Cluster) Find(graph *component.Graph, qosReq qos.Vector, resReq []qos.R
 		dropped: make([]int64, graph.NumPositions()),
 	}
 	c.activeSessions.Set(float64(len(c.sessions)))
+	sess := sessionLabel(id)
+	c.sessionPhi.With(sess).Set(outcome.Best.Phi)
+	c.sessionQoS.With(sess).Set(outcome.Best.QoS.MaxRatio(qosReq))
+	c.sessionQoSReq.With(sess).Set(1)
 	return id, nil
+}
+
+// sessionLabel renders a session ID as its gauge-vector label value.
+func sessionLabel(id SessionID) string { return strconv.FormatInt(int64(id), 10) }
+
+// RefreshSessionGauges recomputes every live session's observed phi
+// (Eq. 1) under the ledger's *current* committed residuals and updates
+// the "session.phi" gauge vector. At commit time the gauge carries
+// decision-time phi; as other sessions commit and release around it,
+// the same composition's congestion drifts — this is the observation
+// the drift monitor compares against the Eq. 3 requirement gauges.
+func (c *Cluster) RefreshSessionGauges() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]SessionID, 0, len(c.sessions))
+	for id := range c.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c.sessionPhi.With(sessionLabel(id)).Set(c.observedPhi(c.sessions[id]))
+	}
+}
+
+// observedPhi aggregates the session's congestion metric phi (Eq. 1)
+// from the ledger's current committed residuals. The ledger residual
+// already excludes this session's own committed demand, matching the
+// post-placement residual rr of Eq. 1. Caller holds c.mu.
+func (c *Cluster) observedPhi(s *session) float64 {
+	req := s.request
+	phi := 0.0
+	for pos, cid := range s.comp.Components {
+		node := c.catalog.Component(cid).Node
+		phi += qos.CongestionTerm(req.ResReq[pos], c.ledger.NodeCommittedAvailable(node))
+	}
+	for _, route := range s.comp.Routes {
+		residual := math.Inf(1)
+		if !route.CoLocated {
+			for _, link := range route.Links {
+				residual = math.Min(residual, c.ledger.LinkCommittedAvailable(link))
+			}
+		}
+		phi += qos.BandwidthCongestionTerm(req.BandwidthReq, residual)
+	}
+	return phi
 }
 
 // Composition describes a session's composed component graph.
@@ -504,6 +574,10 @@ func (c *Cluster) Close(id SessionID) error {
 	}
 	delete(c.sessions, id)
 	c.activeSessions.Set(float64(len(c.sessions)))
+	sess := sessionLabel(id)
+	c.sessionPhi.Delete(sess)
+	c.sessionQoS.Delete(sess)
+	c.sessionQoSReq.Delete(sess)
 	c.mu.Unlock()
 
 	if s.running {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/component"
+	"repro/internal/obs"
 	"repro/internal/qos"
 )
 
@@ -633,5 +634,75 @@ func TestCloseWithoutDrainingOutput(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("Close deadlocked on an undrained session")
+	}
+}
+
+// TestSessionGaugesLifecycle checks the per-session observability
+// plane: Find publishes phi and Eq. 3 standing gauges labeled by
+// session, RefreshSessionGauges re-derives phi from current ledger
+// residuals, and Close deletes the children.
+func TestSessionGaugesLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.IPNodes = 256
+	cfg.OverlayNodes = 32
+	cfg.NumFunctions = 8
+	cfg.Registry = reg
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+
+	graph := component.NewPathGraph([]component.FunctionID{0, 1, 2})
+	qosReq, resReq, bw := easyArgs(3)
+	id, err := c.Find(graph, qosReq, resReq, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := sessionLabel(id)
+
+	s := reg.Snapshot()
+	find := func(vec string) (float64, bool) {
+		for _, lv := range s.GaugeVecs[vec].Values {
+			if len(lv.Labels) == 1 && lv.Labels[0] == sess {
+				return lv.Value, true
+			}
+		}
+		return 0, false
+	}
+	phi, ok := find("session.phi")
+	if !ok || phi <= 0 {
+		t.Fatalf("session.phi{%s} = %v, %v", sess, phi, ok)
+	}
+	observed, ok := find("session.qos.observed")
+	if !ok || observed <= 0 || observed > 1 {
+		// The session was admitted, so Eq. 3 holds: MaxRatio <= 1.
+		t.Fatalf("session.qos.observed{%s} = %v, %v", sess, observed, ok)
+	}
+	if req, ok := find("session.qos.required"); !ok || req != 1 {
+		t.Fatalf("session.qos.required{%s} = %v, %v", sess, req, ok)
+	}
+
+	// The quantile companion saw the same find.
+	if q := s.Quantiles["runtime.find.latency_quantiles_ms"]; q.Count != 1 {
+		t.Fatalf("find quantile count = %d, want 1", q.Count)
+	}
+
+	// A refresh recomputes phi against the live ledger; with this
+	// session still the only load the value stays finite and positive.
+	c.RefreshSessionGauges()
+	if g := c.sessionPhi.Get(sess); g == nil || g.Value() <= 0 {
+		t.Fatalf("refreshed phi gauge = %v", g)
+	}
+
+	if err := c.Close(id); err != nil {
+		t.Fatal(err)
+	}
+	s = reg.Snapshot()
+	for _, vec := range []string{"session.phi", "session.qos.observed", "session.qos.required"} {
+		if _, ok := find(vec); ok {
+			t.Errorf("%s{%s} survived Close", vec, sess)
+		}
 	}
 }
