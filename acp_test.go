@@ -81,17 +81,19 @@ func TestReproduceFigureUnknown(t *testing.T) {
 
 func TestFigureNames(t *testing.T) {
 	names := acp.FigureNames()
-	if len(names) != 11 {
+	if len(names) != 12 {
 		t.Errorf("FigureNames = %v", names)
 	}
-	found := false
-	for _, n := range names {
-		if n == "faults" {
-			found = true
+	for _, want := range []string{"faults", "adaptation"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
 		}
-	}
-	if !found {
-		t.Errorf("FigureNames missing faults sweep: %v", names)
+		if !found {
+			t.Errorf("FigureNames missing %s sweep: %v", want, names)
+		}
 	}
 }
 

@@ -331,6 +331,58 @@ func (c *Composer) Commit(o *Outcome) error {
 	return nil
 }
 
+// ProbeRecompose probes req as a make-before-break re-composition of
+// the committed session prev: for the duration of the probe, the ledger
+// credits prev's committed allocation back into req's availability
+// views, hold feasibility, and phi scoring — the footnote-8 own-demand
+// discipline applied to live state — so candidates overlapping the old
+// composition qualify as if the session's own resources were free for
+// reuse, while concurrent requests still see them as committed. On
+// success the winning composition is covered by req's transient holds
+// and the migration window stays open: finish with CommitMigration or
+// AbortRecompose. On error, or when no composition qualified, the
+// window is closed and every hold has been released.
+func (c *Composer) ProbeRecompose(req *component.Request, prev int64) (*Outcome, error) {
+	if err := c.env.Ledger.BeginMigration(state.Owner(req.ID), state.Owner(prev)); err != nil {
+		return nil, err
+	}
+	out, err := c.Probe(req)
+	if err != nil || !out.Success() {
+		c.env.Ledger.EndMigration(state.Owner(req.ID))
+	}
+	return out, err
+}
+
+// CommitMigration atomically flips the committed session prev to a
+// successful ProbeRecompose outcome: the probe's transient holds are
+// released, the old allocation is swapped for the new composition's
+// demands (now registered under the outcome's request ID), and the
+// migration window closes. The session stays committed at every
+// observable point — make-before-break. On failure the window and the
+// holds survive, so the caller can retry or AbortRecompose.
+func (c *Composer) CommitMigration(o *Outcome, prev int64) error {
+	if o == nil || o.Best == nil {
+		return fmt.Errorf("core: migration commit of unsuccessful outcome")
+	}
+	nodes, links := c.demands(o.Request, o.Best)
+	if err := c.env.Ledger.MigrateSession(state.Owner(prev), state.Owner(o.Request.ID), nodes, links); err != nil {
+		c.env.Tracer.RolledBack(o.Request.ID, o.Request.Client, obs.ReasonCommitNack)
+		return fmt.Errorf("request %d: %w", o.Request.ID, err)
+	}
+	c.env.Counters.AddConfirmations(int64(len(o.Best.Components)))
+	c.env.Tracer.SessionMigrated(prev, o.Request.ID, o.Request.Client)
+	return nil
+}
+
+// AbortRecompose abandons an open migration window: the re-probe's
+// transient holds are released and the source session's committed
+// allocation stays untouched — the break never happens.
+func (c *Composer) AbortRecompose(requestID int64) {
+	c.env.Ledger.EndMigration(state.Owner(requestID))
+	c.env.Ledger.ReleaseOwner(state.Owner(requestID))
+	c.env.Tracer.RolledBack(requestID, -1, obs.ReasonAbort)
+}
+
 // Release tears down a committed session (§2.2 Close).
 func (c *Composer) Release(requestID int64) {
 	c.env.Ledger.ReleaseSession(state.Owner(requestID))

@@ -1,0 +1,50 @@
+package experiment
+
+import "testing"
+
+// TestRunAdaptationBaselineVsAdapt: with the controller off, violations
+// persist for the whole surge; with it on, the same schedule must spend
+// strictly fewer session-ticks in violation and actually migrate.
+func TestRunAdaptationBaselineVsAdapt(t *testing.T) {
+	off, err := RunAdaptation(AdaptationConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if off.Episodes == 0 || off.ViolationTicks == 0 {
+		t.Fatalf("baseline surge schedule degenerate: %+v", off)
+	}
+	if off.Migrations != 0 {
+		t.Fatalf("controller off but %d migrations happened", off.Migrations)
+	}
+	on, err := RunAdaptation(AdaptationConfig{Seed: 1, Adapt: true})
+	if err != nil {
+		t.Fatalf("adapt: %v", err)
+	}
+	if on.Migrations == 0 {
+		t.Fatalf("controller on but never migrated: %+v", on)
+	}
+	if on.ViolationTicks >= off.ViolationTicks {
+		t.Fatalf("adaptation did not reduce violation exposure: off %d ticks, on %d ticks",
+			off.ViolationTicks, on.ViolationTicks)
+	}
+}
+
+// TestAdaptationSweepShape checks the figure table is well-formed.
+func TestAdaptationSweepShape(t *testing.T) {
+	tables, err := AdaptationSweep(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("want 1 table, got %d", len(tables))
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("want 3 mode rows, got %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("row width %d != header width %d", len(row), len(tbl.Header))
+		}
+	}
+}

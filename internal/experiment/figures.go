@@ -394,6 +394,9 @@ func Figures() map[string]FigureFunc {
 		// Not a paper figure: the dist engine's success-vs-loss
 		// degradation curve under injected faults.
 		"faults": FaultSweep,
+		// Not a paper figure: QoS-drift exposure with the runtime
+		// re-composition controller off vs on vs predictive.
+		"adaptation": AdaptationSweep,
 	}
 }
 

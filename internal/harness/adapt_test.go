@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// reportAdaptFailure mirrors reportFailure for adaptation scenarios.
+func reportAdaptFailure(t *testing.T, rep *AdaptReport, err error) {
+	t.Helper()
+	const tail = 40
+	log := rep.Log
+	if len(log) > tail {
+		log = log[len(log)-tail:]
+	}
+	t.Errorf("seed %d failed: %v\nreplay: ACP_SIM_SEED=%d go test ./internal/harness -run %s -v\nlast %d schedule entries:\n%s",
+		rep.Seed, err, rep.Seed, t.Name(), len(log), strings.Join(log, "\n"))
+}
+
+// TestAdaptationScenarios sweeps seeded drift/churn schedules over the
+// live runtime with the re-composition controller on, auditing
+// conservation, never-unheld, and no-worse-phi at every tick.
+func TestAdaptationScenarios(t *testing.T) {
+	if seed, ok := replaySeed(t); ok {
+		rep, err := RunAdaptScenario(AdaptScenarioConfig{Seed: seed})
+		if err != nil {
+			reportAdaptFailure(t, rep, err)
+		}
+		return
+	}
+	n := seedCount(t, 5)
+	migrations := int64(0)
+	exceeded := int64(0)
+	for seed := int64(1); seed <= int64(n); seed++ {
+		rep, err := RunAdaptScenario(AdaptScenarioConfig{Seed: seed, Predictive: seed%4 == 0})
+		if err != nil {
+			reportAdaptFailure(t, rep, err)
+			return
+		}
+		if rep.Admitted == 0 {
+			t.Fatalf("seed %d: adaptation scenario admitted nothing", seed)
+		}
+		migrations += rep.Migrations
+		exceeded += rep.Exceeded
+	}
+	// The sweep as a whole must actually exercise the adaptation path:
+	// surges that drift sessions and migrations that answer them.
+	if exceeded == 0 {
+		t.Fatal("sweep produced no drift violations; surge schedule is degenerate")
+	}
+	if migrations == 0 {
+		t.Fatal("sweep produced no migrations; the controller never acted")
+	}
+}
+
+// TestAdaptScenarioDeterminism: the same seed must reproduce the
+// identical adaptation schedule and outcome, bit for bit.
+func TestAdaptScenarioDeterminism(t *testing.T) {
+	first, err := RunAdaptScenario(AdaptScenarioConfig{Seed: 42})
+	if err != nil {
+		reportAdaptFailure(t, first, err)
+		return
+	}
+	second, err := RunAdaptScenario(AdaptScenarioConfig{Seed: 42})
+	if err != nil {
+		reportAdaptFailure(t, second, err)
+		return
+	}
+	if strings.Join(first.Log, "\n") != strings.Join(second.Log, "\n") {
+		t.Fatal("same seed produced different adaptation schedules")
+	}
+	if first.Admitted != second.Admitted || first.Migrations != second.Migrations ||
+		first.Exceeded != second.Exceeded || first.Recovered != second.Recovered ||
+		first.Forgotten != second.Forgotten || first.Abandoned != second.Abandoned {
+		t.Fatalf("same seed, different outcomes:\n  run 1: %+v\n  run 2: %+v", first, second)
+	}
+}

@@ -63,6 +63,7 @@ type DriftMonitor struct {
 	ticks       *Counter
 	exceededC   *Counter
 	recoveredC  *Counter
+	forgottenC  *Counter
 	inViolation *Gauge
 
 	mu       sync.Mutex
@@ -86,6 +87,7 @@ func NewDriftMonitor(cfg DriftConfig) *DriftMonitor {
 		ticks:       cfg.Registry.Counter("obs.drift.ticks"),
 		exceededC:   cfg.Registry.Counter("obs.drift.exceeded_total"),
 		recoveredC:  cfg.Registry.Counter("obs.drift.recovered_total"),
+		forgottenC:  cfg.Registry.Counter("obs.drift.forgotten_total"),
 		inViolation: cfg.Registry.Gauge("obs.drift.sessions_exceeded"),
 	}
 }
@@ -93,7 +95,10 @@ func NewDriftMonitor(cfg DriftConfig) *DriftMonitor {
 // Tick walks the observed sessions once and returns the transitions it
 // found (nil when nothing changed). Sessions whose gauges disappeared
 // since the last tick (released compositions) are forgotten without a
-// recovery event. Safe for concurrent use; nil-safe.
+// recovery event; ones that vanished while in violation bump
+// "obs.drift.forgotten_total", keeping the accounting identity
+// exceeded_total == recovered_total + forgotten_total +
+// sessions_exceeded. Safe for concurrent use; nil-safe.
 func (m *DriftMonitor) Tick() []DriftEvent {
 	if m == nil || m.cfg.Observed == nil || m.cfg.Required == nil {
 		return nil
@@ -125,8 +130,14 @@ func (m *DriftMonitor) Tick() []DriftEvent {
 			})
 		}
 	}
+	forgotten := 0
 	for key := range m.exceeded {
 		if !live[key] {
+			if m.exceeded[key] {
+				// Released while in violation: no recovery event will
+				// ever fire, so account the episode as forgotten.
+				forgotten++
+			}
 			delete(m.exceeded, key)
 		}
 	}
@@ -138,6 +149,9 @@ func (m *DriftMonitor) Tick() []DriftEvent {
 	}
 	m.mu.Unlock()
 
+	if forgotten > 0 {
+		m.forgottenC.Add(int64(forgotten))
+	}
 	m.inViolation.Set(float64(violating))
 	for _, ev := range events {
 		if ev.Exceeded {

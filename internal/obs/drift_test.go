@@ -119,6 +119,49 @@ func TestDriftMonitorForgetsReleasedSessions(t *testing.T) {
 	}
 }
 
+// TestDriftMonitorForgottenAccounting pins the counter identity
+// exceeded_total == recovered_total + forgotten_total +
+// sessions_exceeded: a session released while in violation is counted
+// as forgotten instead of silently diverging the books.
+func TestDriftMonitorForgottenAccounting(t *testing.T) {
+	r, observed, required, m, _ := driftFixture(t, 0)
+
+	// s1 drifts and is released mid-violation; s2 drifts and recovers;
+	// s3 is released while healthy (no forgotten bump).
+	for _, s := range []string{"s1", "s2", "s3"} {
+		observed.With(s).Set(0.5)
+		required.With(s).Set(1)
+	}
+	m.Tick()
+	observed.With("s1").Set(2)
+	observed.With("s2").Set(2)
+	if evs := m.Tick(); len(evs) != 2 {
+		t.Fatalf("expected two exceeded events, got %+v", evs)
+	}
+	observed.Delete("s1")
+	required.Delete("s1")
+	observed.Delete("s3")
+	required.Delete("s3")
+	observed.With("s2").Set(0.5)
+	if evs := m.Tick(); len(evs) != 1 || evs[0].Exceeded {
+		t.Fatalf("expected one recovery, got %+v", evs)
+	}
+
+	s := r.Snapshot()
+	exceeded := s.Counters["obs.drift.exceeded_total"]
+	recovered := s.Counters["obs.drift.recovered_total"]
+	forgotten := s.Counters["obs.drift.forgotten_total"]
+	inViolation := int64(s.Gauges["obs.drift.sessions_exceeded"])
+	if exceeded != 2 || recovered != 1 || forgotten != 1 || inViolation != 0 {
+		t.Fatalf("exceeded=%d recovered=%d forgotten=%d in_violation=%d",
+			exceeded, recovered, forgotten, inViolation)
+	}
+	if exceeded != recovered+forgotten+inViolation {
+		t.Fatalf("accounting identity broken: %d != %d + %d + %d",
+			exceeded, recovered, forgotten, inViolation)
+	}
+}
+
 // TestDriftMonitorVirtualClock drives Start's tick chain on the
 // harness Virtual clock: ticks land synchronously at exact simulated
 // instants, so the whole schedule is deterministic.

@@ -54,6 +54,12 @@ const (
 	EventRolledBack EventType = "composition.rolledback"
 	// EventSessionReleased marks a committed session torn down.
 	EventSessionReleased EventType = "session.released"
+	// EventSessionMigrated marks a make-before-break re-composition
+	// flip: a live session's committed allocation was atomically swapped
+	// to the composition reserved by its re-probe. Req carries the new
+	// request ID (the session's owner after the flip); Detail names the
+	// request ID it migrated from.
+	EventSessionMigrated EventType = "session.migrated"
 	// EventMsgDropped records a non-probe protocol message lost by fault
 	// injection or a node outage (lost probes close their span with
 	// EventProbeDropped instead).
@@ -391,6 +397,12 @@ func (t *Tracer) Committed(req int64, node int) {
 // RolledBack records the commit phase (or a held outcome) undone.
 func (t *Tracer) RolledBack(req int64, node int, reason Reason) {
 	t.emit(Event{Type: EventRolledBack, Req: req, Pos: -1, Node: node, Reason: reason})
+}
+
+// SessionMigrated records a make-before-break re-composition flip from
+// the session owned by oldReq to the composition probed under newReq.
+func (t *Tracer) SessionMigrated(oldReq, newReq int64, node int) {
+	t.emit(Event{Type: EventSessionMigrated, Req: newReq, Pos: -1, Node: node, Detail: fmt.Sprintf("from-request=%d", oldReq)})
 }
 
 // SessionReleased records a committed session torn down.

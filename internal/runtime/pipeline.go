@@ -23,6 +23,12 @@ func (c *Cluster) startPipeline(s *session) {
 	}
 
 	var wg sync.WaitGroup
+	// sinkWg tracks sink goroutines: they share the single session
+	// output channel, so none of them may close it directly — a closer
+	// goroutine waits for all sinks and closes it exactly once. (With one
+	// sink per graph this is equivalent to the sink closing it; with
+	// several it prevents a close-of-closed-channel panic.)
+	var sinkWg sync.WaitGroup
 	for pos := 0; pos < n; pos++ {
 		var ins []<-chan DataUnit
 		var outs []chan<- DataUnit
@@ -40,19 +46,22 @@ func (c *Cluster) startPipeline(s *session) {
 		isSink := len(outs) == 0
 		if isSink {
 			outs = []chan<- DataUnit{s.output}
+			sinkWg.Add(1)
 		}
 
 		in := mergeStreams(&wg, s.quit, ins)
 		fn := s.procFn[pos]
-		delay := c.paceDelay(s, pos)
-		lossThreshold := c.lossThreshold(s, pos)
 
 		wg.Add(1)
-		go func(in <-chan DataUnit, outs []chan<- DataUnit, fn ProcessorFunc, delay time.Duration, pos int, isSink bool) {
+		go func(in <-chan DataUnit, outs []chan<- DataUnit, fn ProcessorFunc, pos int, isSink bool) {
 			defer wg.Done()
 			defer func() {
+				if isSink {
+					sinkWg.Done() // shared output closes via the closer
+					return
+				}
 				for _, out := range outs {
-					close(out)
+					close(out) // edge channels have exactly one producer
 				}
 			}()
 			for {
@@ -68,10 +77,13 @@ func (c *Cluster) startPipeline(s *session) {
 				case <-s.quit:
 					return // forced teardown
 				}
-				if delay > 0 {
+				// Pace and loss derive from the *current* composition:
+				// loaded per unit so a migration flip retargets the
+				// running pipeline without restarting it.
+				if delay := time.Duration(atomic.LoadInt64(&s.paceNs[pos])); delay > 0 {
 					c.clock.Sleep(delay)
 				}
-				if lossThreshold > 0 && unitHash(unit.Seq, pos) < lossThreshold {
+				if thr := uint32(atomic.LoadInt64(&s.lossThr[pos])); thr > 0 && unitHash(unit.Seq, pos) < thr {
 					// Simulated overload drop (footnote 2 of the paper);
 					// deterministic per (sequence, position).
 					atomic.AddInt64(&s.dropped[pos], 1)
@@ -98,8 +110,15 @@ func (c *Cluster) startPipeline(s *session) {
 					}
 				}
 			}
-		}(in, outs, fn, delay, pos, isSink)
+		}(in, outs, fn, pos, isSink)
 	}
+
+	// The single closer for the shared session output: fires once every
+	// sink goroutine has exited.
+	go func() {
+		sinkWg.Wait()
+		close(s.output)
+	}()
 
 	// The drain watcher closes done once every component goroutine has
 	// exited (all queues flushed).
@@ -107,6 +126,17 @@ func (c *Cluster) startPipeline(s *session) {
 		wg.Wait()
 		close(s.done)
 	}()
+}
+
+// setDataPlaneParams (re)derives each position's pacing sleep and loss
+// threshold from the session's current composition, storing them
+// atomically so a make-before-break flip retargets a live pipeline
+// mid-stream. Caller holds c.mu.
+func (c *Cluster) setDataPlaneParams(s *session) {
+	for pos := range s.paceNs {
+		atomic.StoreInt64(&s.paceNs[pos], int64(c.paceDelay(s, pos)))
+		atomic.StoreInt64(&s.lossThr[pos], int64(c.lossThreshold(s, pos)))
+	}
 }
 
 // mergeStreams funnels several input queues into one stream for join

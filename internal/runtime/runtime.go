@@ -45,6 +45,12 @@ var ErrNoComposition = errors.New("runtime: no qualified component composition")
 // or have been closed.
 var ErrUnknownSession = errors.New("runtime: unknown session")
 
+// ErrNoBetterComposition is returned by Recompose when re-probing found
+// no composition meeting the session's admission-time congestion bound:
+// the session keeps its current composition untouched and the caller
+// (typically the AdaptController) may retry later.
+var ErrNoBetterComposition = errors.New("runtime: no better composition")
+
 // SessionID identifies a composed stream processing session.
 type SessionID int64
 
@@ -120,19 +126,30 @@ func DefaultConfig() Config {
 
 // session is one live composed application.
 type session struct {
-	id       SessionID
-	request  *component.Request
-	comp     *core.Composition
-	running  bool
-	input    chan DataUnit
-	output   chan DataUnit
-	quit     chan struct{} // closed by Close to force teardown
-	quitOnce sync.Once
-	done     chan struct{} // closed when the pipeline drains
-	procFn   []ProcessorFunc
-	processd int64
-	perComp  []int64 // units emitted per position (atomic)
-	dropped  []int64 // units lost per position (atomic)
+	id      SessionID
+	request *component.Request
+	comp    *core.Composition
+	// requiredPhi is the admission-time congestion bound: the phi the
+	// composition engine accepted at Find. Re-compositions must meet it
+	// (within the adaptation tolerance); it never changes on migration.
+	requiredPhi float64
+	// migrations counts make-before-break flips this session survived.
+	migrations int64
+	running    bool
+	input      chan DataUnit
+	output     chan DataUnit
+	quit       chan struct{} // closed by Close to force teardown
+	quitOnce   sync.Once
+	done       chan struct{} // closed when the pipeline drains
+	procFn     []ProcessorFunc
+	processd   int64
+	perComp    []int64 // units emitted per position (atomic)
+	dropped    []int64 // units lost per position (atomic)
+	// paceNs and lossThr are the per-position data-plane parameters,
+	// derived from the current composition. Stored atomically so a
+	// migration flip retargets a running pipeline mid-stream.
+	paceNs  []int64
+	lossThr []int64
 }
 
 // Cluster is an in-process distributed stream processing system.
@@ -150,12 +167,23 @@ type Cluster struct {
 	// findLatencyMs: same observations, p50/p99/p999 derivable.
 	findQuantiles *obs.QHistogram
 
+	// Migration instruments: successful make-before-break flips, failed
+	// or rejected re-composition attempts, and the latency of each
+	// re-probe + flip.
+	migrationsC       *obs.Counter
+	migrationFailures *obs.Counter
+	migrationLatency  *obs.QHistogram
+
 	// Per-session gauges (same families the dist engine exposes): each
 	// live session's phi, its observed Eq. 3 standing (QoS MaxRatio),
 	// and the constant requirement 1. Children are deleted on Close.
 	sessionPhi    *obs.GaugeVec
 	sessionQoS    *obs.GaugeVec
 	sessionQoSReq *obs.GaugeVec
+	// sessionPhiReq carries each session's admission-time phi bound — the
+	// requirement gauge the adaptation drift monitor compares against.
+	// Set at Find, untouched by migration flips, deleted on Close.
+	sessionPhiReq *obs.GaugeVec
 
 	clock clock.Clock
 
@@ -175,6 +203,10 @@ type Cluster struct {
 	tuneEvery   int
 	tuneSuccess int
 	tuneTotal   int
+
+	// adaptTol is the fractional headroom re-compositions get over the
+	// admission-time phi bound; set by EnableAdaptation. guarded by mu
+	adaptTol float64
 }
 
 // NewCluster builds the network substrate, deploys components, and
@@ -227,9 +259,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		findLatencyMs:  cfg.Registry.Histogram("runtime.find.latency_ms", []float64{0.1, 0.5, 1, 5, 10, 50, 100}),
 		findQuantiles:  cfg.Registry.QHistogram("runtime.find.latency_quantiles_ms"),
 
+		migrationsC:       cfg.Registry.Counter("runtime.migrations"),
+		migrationFailures: cfg.Registry.Counter("runtime.migration_failures"),
+		migrationLatency:  cfg.Registry.QHistogram("runtime.migration.latency_quantiles_ms"),
+
 		sessionPhi:    cfg.Registry.GaugeVec("session.phi", "session"),
 		sessionQoS:    cfg.Registry.GaugeVec("session.qos.observed", "session"),
 		sessionQoSReq: cfg.Registry.GaugeVec("session.qos.required", "session"),
+		sessionPhiReq: cfg.Registry.GaugeVec("session.phi.required", "session"),
 	}
 	c.ledger = state.NewLedger(mesh, cfg.NodeCapacity, c.now)
 	global, err := state.NewGlobal(c.ledger, mesh, state.DefaultGlobalConfig(), c.counters)
@@ -392,20 +429,94 @@ func (c *Cluster) Find(graph *component.Graph, qosReq qos.Vector, resReq []qos.R
 	for pos, f := range graph.Functions {
 		procFn[pos] = c.functions[f] // nil = identity
 	}
-	c.sessions[id] = &session{
-		id:      id,
-		request: req,
-		comp:    outcome.Best,
-		procFn:  procFn,
-		perComp: make([]int64, graph.NumPositions()),
-		dropped: make([]int64, graph.NumPositions()),
+	s := &session{
+		id:          id,
+		request:     req,
+		comp:        outcome.Best,
+		requiredPhi: outcome.Best.Phi,
+		procFn:      procFn,
+		perComp:     make([]int64, graph.NumPositions()),
+		dropped:     make([]int64, graph.NumPositions()),
+		paceNs:      make([]int64, graph.NumPositions()),
+		lossThr:     make([]int64, graph.NumPositions()),
 	}
+	c.sessions[id] = s
+	c.setDataPlaneParams(s)
 	c.activeSessions.Set(float64(len(c.sessions)))
 	sess := sessionLabel(id)
 	c.sessionPhi.With(sess).Set(outcome.Best.Phi)
 	c.sessionQoS.With(sess).Set(outcome.Best.QoS.MaxRatio(qosReq))
 	c.sessionQoSReq.With(sess).Set(1)
+	c.sessionPhiReq.With(sess).Set(outcome.Best.Phi)
 	return id, nil
+}
+
+// Recompose re-runs the composition algorithm for a live session against
+// current network conditions and migrates it make-before-break: the new
+// composition is probed and held while the old one stays committed, then
+// the ledger flips the session's allocation atomically — the session is
+// never without resources (the adaptation analogue of §3.3's transient
+// holds). The flip is rejected, leaving the session untouched, when no
+// composition meets the admission-time phi bound (within the adaptation
+// tolerance): that is ErrNoBetterComposition, the caller's cue to back
+// off and retry.
+func (c *Cluster) Recompose(id SessionID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("runtime: cluster is shut down")
+	}
+	s, ok := c.sessions[id]
+	if !ok {
+		return ErrUnknownSession
+	}
+	prev := s.request
+	c.nextReq++
+	req := &component.Request{
+		ID:           c.nextReq,
+		Graph:        prev.Graph,
+		QoSReq:       prev.QoSReq,
+		ResReq:       append([]qos.Resources(nil), prev.ResReq...),
+		BandwidthReq: prev.BandwidthReq,
+		Client:       prev.Client, // the client endpoint does not move
+		Duration:     prev.Duration,
+	}
+	bound := s.requiredPhi * (1 + c.adaptTol)
+	start := c.now()
+	outcome, err := c.composer.ProbeRecompose(req, prev.ID)
+	if err != nil {
+		c.migrationFailures.Inc()
+		return fmt.Errorf("runtime: recompose probe: %w", err)
+	}
+	if !outcome.Success() {
+		c.migrationFailures.Inc()
+		return fmt.Errorf("%w: probe found no qualified composition", ErrNoBetterComposition)
+	}
+	if outcome.Best.Phi > bound {
+		c.composer.AbortRecompose(req.ID)
+		c.migrationFailures.Inc()
+		return fmt.Errorf("%w: best phi %.4g exceeds bound %.4g", ErrNoBetterComposition, outcome.Best.Phi, bound)
+	}
+	if err := c.composer.CommitMigration(outcome, prev.ID); err != nil {
+		c.composer.AbortRecompose(req.ID)
+		c.migrationFailures.Inc()
+		return fmt.Errorf("runtime: migrate: %w", err)
+	}
+	c.migrationLatency.Observe(float64(c.now()-start) / float64(time.Millisecond))
+	c.migrationsC.Inc()
+
+	// Flip the session onto the new composition. The gauge children keep
+	// their label, so the drift monitor sees an in-place update — one
+	// recovery transition, not a forget/re-register storm. The required
+	// gauges are untouched: migrating does not renegotiate the contract.
+	s.request = req
+	s.comp = outcome.Best
+	s.migrations++
+	c.setDataPlaneParams(s)
+	sess := sessionLabel(id)
+	c.sessionPhi.With(sess).Set(outcome.Best.Phi)
+	c.sessionQoS.With(sess).Set(outcome.Best.QoS.MaxRatio(req.QoSReq))
+	return nil
 }
 
 // sessionLabel renders a session ID as its gauge-vector label value.
@@ -578,6 +689,7 @@ func (c *Cluster) Close(id SessionID) error {
 	c.sessionPhi.Delete(sess)
 	c.sessionQoS.Delete(sess)
 	c.sessionQoSReq.Delete(sess)
+	c.sessionPhiReq.Delete(sess)
 	c.mu.Unlock()
 
 	if s.running {
@@ -599,22 +711,78 @@ func (c *Cluster) Close(id SessionID) error {
 	return nil
 }
 
-// Shutdown closes every live session and stops the cluster.
+// Shutdown closes every live session and stops the cluster. Idempotent,
+// and safe against sessions racing their own Close: Close only fails
+// with ErrUnknownSession, which Shutdown ignores.
 func (c *Cluster) Shutdown() {
 	c.mu.Lock()
 	ids := make([]SessionID, 0, len(c.sessions))
 	for id := range c.sessions {
 		ids = append(ids, id)
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	c.closed = true
 	c.mu.Unlock()
 	for _, id := range ids {
-		// Unknown sessions (racing closes) are fine to skip.
-		if err := c.Close(id); err != nil && !errors.Is(err, ErrUnknownSession) {
-			// Close only fails for unknown sessions; nothing to do.
-			continue
+		_ = c.Close(id)
+	}
+}
+
+// SessionAudit is one live session's adaptation-relevant standing, as
+// reported by AuditSessions for the simulation harness's oracles.
+type SessionAudit struct {
+	ID SessionID
+	// RequestID is the ledger owner of the session's current allocation
+	// (changes on every migration flip).
+	RequestID int64
+	// ObservedPhi is Eq. 1 under the ledger's current committed
+	// residuals; RequiredPhi is the admission-time bound.
+	ObservedPhi float64
+	RequiredPhi float64
+	// Migrations counts make-before-break flips the session survived.
+	Migrations int64
+}
+
+// AuditSessions snapshots every live session's congestion standing in
+// session-ID order.
+func (c *Cluster) AuditSessions() []SessionAudit {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]SessionID, 0, len(c.sessions))
+	for id := range c.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]SessionAudit, 0, len(ids))
+	for _, id := range ids {
+		s := c.sessions[id]
+		out = append(out, SessionAudit{
+			ID:          id,
+			RequestID:   s.request.ID,
+			ObservedPhi: c.observedPhi(s),
+			RequiredPhi: s.requiredPhi,
+			Migrations:  s.migrations,
+		})
+	}
+	return out
+}
+
+// CheckInvariants audits the ledger's conservation laws (Eqs. 4–5,
+// including any open migration windows) and that every live session
+// owns exactly one committed allocation — a session is never unheld,
+// even mid-migration.
+func (c *Cluster) CheckInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ledger.CheckInvariants(); err != nil {
+		return err
+	}
+	for id, s := range c.sessions {
+		if !c.ledger.HasSession(state.Owner(s.request.ID)) {
+			return fmt.Errorf("runtime: session %d (request %d) has no committed allocation", id, s.request.ID)
 		}
 	}
+	return nil
 }
 
 // ActiveSessions returns the number of live sessions.
@@ -622,4 +790,37 @@ func (c *Cluster) ActiveSessions() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.sessions)
+}
+
+// NodeResidual returns a node's committed residual capacity — what a
+// congestion surge can still consume.
+func (c *Cluster) NodeResidual(node int) qos.Resources {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ledger.NodeCommittedAvailable(node)
+}
+
+// InjectLoad commits synthetic background load on the ledger under a
+// negative owner ID (positive IDs belong to composed sessions), the
+// harness's and experiments' way of manufacturing congestion surges
+// that drive sessions into QoS drift. Release with ReleaseLoad.
+func (c *Cluster) InjectLoad(owner int64, load map[int]qos.Resources) error {
+	if owner >= 0 {
+		return fmt.Errorf("runtime: injected load owner %d must be negative", owner)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nodes := make(map[int]qos.Resources, len(load))
+	for n, r := range load {
+		nodes[n] = r
+	}
+	return c.ledger.CommitSession(state.Owner(owner), nodes, nil)
+}
+
+// ReleaseLoad removes previously injected background load. Unknown
+// owners are a no-op.
+func (c *Cluster) ReleaseLoad(owner int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ledger.ReleaseSession(state.Owner(owner))
 }

@@ -8,6 +8,7 @@ package state
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -67,6 +68,14 @@ type Ledger struct {
 	nodes    []nodeLedger
 	links    []linkLedger
 	sessions map[Owner]sessionAlloc
+
+	// migrations maps a re-probe owner to the committed session it is
+	// re-composing make-before-break. While registered, the probe's
+	// availability views and hold feasibility checks credit the source
+	// session's committed allocation as reusable (footnote-8 discipline
+	// applied to live state), so a re-composition is never blocked by —
+	// or double-charged for — resources the session already owns.
+	migrations map[Owner]Owner
 
 	onNodeChange func(node int)
 	onLinkChange func(link int)
@@ -272,7 +281,15 @@ func (l *Ledger) HoldNodeTracked(owner Owner, tag, node int, amount qos.Resource
 			return true, false
 		}
 	}
-	if !n.capacity.Sub(n.committed).Sub(n.held).Covers(amount) {
+	avail := n.capacity.Sub(n.committed).Sub(n.held)
+	if credit, ok := l.migrationNodeCredit(owner, node); ok {
+		// Make-before-break: the probe may reuse its source session's
+		// committed share on this node, but only once — feasibility
+		// requires the part of (existing holds + amount) beyond the
+		// reusable share to fit the true availability.
+		avail = avail.Add(minRes(l.nodeHeldBy(owner, node).Add(amount), credit))
+	}
+	if !avail.Covers(amount) {
 		return false, false
 	}
 	n.holds = append(n.holds, nodeHold{owner: owner, tag: tag, amount: amount, expires: expires})
@@ -299,7 +316,11 @@ func (l *Ledger) HoldLinkTracked(owner Owner, tag, link int, amount float64, exp
 			return true, false
 		}
 	}
-	if lk.capacity-lk.committed-lk.held < amount {
+	avail := lk.capacity - lk.committed - lk.held
+	if credit, ok := l.migrationLinkCredit(owner, link); ok {
+		avail += math.Min(l.linkHeldBy(owner, link)+amount, credit)
+	}
+	if avail < amount {
 		return false, false
 	}
 	lk.holds = append(lk.holds, linkHold{owner: owner, tag: tag, amount: amount, expires: expires})
@@ -341,7 +362,9 @@ func (l *Ledger) ReleaseLinkHold(owner Owner, tag, link int) {
 // NodeAvailableFor returns the node's available resources from owner's
 // perspective: precise availability with owner's own transient holds
 // credited back. The deputy evaluates candidate compositions with this
-// view so a request is not blocked by its own reservations.
+// view so a request is not blocked by its own reservations. An owner
+// registered as a migration probe is additionally credited its source
+// session's committed share on the node.
 func (l *Ledger) NodeAvailableFor(owner Owner, node int) qos.Resources {
 	l.lock()
 	defer l.unlock()
@@ -350,6 +373,9 @@ func (l *Ledger) NodeAvailableFor(owner Owner, node int) qos.Resources {
 		if h.owner == owner {
 			avail = avail.Add(h.amount)
 		}
+	}
+	if credit, ok := l.migrationNodeCredit(owner, node); ok {
+		avail = avail.Add(credit)
 	}
 	return avail
 }
@@ -368,6 +394,9 @@ func (l *Ledger) linkAvailableFor(owner Owner, link int) float64 {
 		if h.owner == owner {
 			avail += h.amount
 		}
+	}
+	if credit, ok := l.migrationLinkCredit(owner, link); ok {
+		avail += credit
 	}
 	return avail
 }
@@ -435,6 +464,9 @@ func (l *Ledger) CommitSession(owner Owner, nodes map[int]qos.Resources, links m
 	if _, ok := l.sessions[owner]; ok {
 		return fmt.Errorf("state: session %d already committed", owner)
 	}
+	if prev, ok := l.migrations[owner]; ok {
+		return fmt.Errorf("state: owner %d is migrating session %d; use MigrateSession", owner, prev)
+	}
 	l.releaseOwner(owner)
 	for node, amount := range nodes {
 		if !l.nodeAvailable(node).Covers(amount) {
@@ -471,6 +503,14 @@ func (l *Ledger) ReleaseSession(owner Owner) {
 		return
 	}
 	delete(l.sessions, owner)
+	// A migration window over a session that closes underneath it loses
+	// its reuse credit: the freed allocation more than covers whatever
+	// the probe's overlapping holds were credited.
+	for probe, session := range l.migrations {
+		if session == owner {
+			delete(l.migrations, probe)
+		}
+	}
 	for node, amount := range alloc.nodes {
 		l.nodes[node].committed = l.nodes[node].committed.Sub(amount)
 		l.notifyNode(node)
@@ -486,6 +526,224 @@ func (l *Ledger) ActiveSessions() int {
 	l.lock()
 	defer l.unlock()
 	return len(l.sessions)
+}
+
+// HasSession reports whether owner has a committed session allocation.
+func (l *Ledger) HasSession(owner Owner) bool {
+	l.lock()
+	defer l.unlock()
+	_, ok := l.sessions[owner]
+	return ok
+}
+
+// BeginMigration opens a make-before-break window: probe becomes a
+// re-composition of the committed session, and until EndMigration or
+// MigrateSession closes the window, probe's availability views and hold
+// feasibility treat the session's committed allocation as reusable. A
+// session can be re-composed by at most one probe at a time.
+func (l *Ledger) BeginMigration(probe, session Owner) error {
+	l.lock()
+	defer l.unlock()
+	if _, ok := l.sessions[session]; !ok {
+		return fmt.Errorf("state: migration source session %d not committed", session)
+	}
+	if _, ok := l.sessions[probe]; ok {
+		return fmt.Errorf("state: migration probe %d already owns a committed session", probe)
+	}
+	if prev, ok := l.migrations[probe]; ok {
+		return fmt.Errorf("state: probe %d already migrating session %d", probe, prev)
+	}
+	for p, s := range l.migrations {
+		if s == session {
+			return fmt.Errorf("state: session %d already being migrated by probe %d", session, p)
+		}
+	}
+	if l.migrations == nil {
+		l.migrations = make(map[Owner]Owner)
+	}
+	l.migrations[probe] = session
+	return nil
+}
+
+// EndMigration closes probe's migration window without flipping the
+// session. The probe's transient holds, if any, are untouched — release
+// them with ReleaseOwner (or let them expire). Unknown probes are
+// ignored.
+func (l *Ledger) EndMigration(probe Owner) {
+	l.lock()
+	defer l.unlock()
+	delete(l.migrations, probe)
+}
+
+// MigrateSession atomically flips a committed session to the new shares
+// reserved by its migration probe: the probe's transient holds are
+// released, the old allocation is freed, the new per-node resources and
+// per-link bandwidths are committed under the probe's owner ID, and the
+// migration window closes. Feasibility of the post-flip state is checked
+// before any mutation, so on error the window — and the holds protecting
+// the new composition — survive for a retry or an abort. Conservation
+// (Eqs. 4–5) holds at every observable point: the session is committed
+// throughout, and the flip happens under one lock acquisition.
+func (l *Ledger) MigrateSession(session, probe Owner, nodes map[int]qos.Resources, links map[int]float64) error {
+	l.lock()
+	defer l.unlock()
+	old, ok := l.sessions[session]
+	if !ok {
+		return fmt.Errorf("state: migration source session %d not committed", session)
+	}
+	if l.migrations[probe] != session {
+		return fmt.Errorf("state: probe %d is not migrating session %d", probe, session)
+	}
+	if _, ok := l.sessions[probe]; ok {
+		return fmt.Errorf("state: session %d already committed", probe)
+	}
+	// Post-flip feasibility: with the old allocation freed and the
+	// probe's holds released, every new share must fit. Keys are sorted
+	// so error selection is deterministic.
+	nodeIDs := make([]int, 0, len(nodes))
+	for node := range nodes {
+		nodeIDs = append(nodeIDs, node)
+	}
+	sort.Ints(nodeIDs)
+	for _, node := range nodeIDs {
+		if node < 0 || node >= len(l.nodes) {
+			return fmt.Errorf("state: migration references node %d", node)
+		}
+		l.purgeNode(node)
+		n := &l.nodes[node]
+		avail := n.capacity.Sub(n.committed).Sub(n.held).Add(old.nodes[node]).Add(l.nodeHeldBy(probe, node))
+		if !avail.Covers(nodes[node]) {
+			return fmt.Errorf("state: node %d cannot cover %v post-flip", node, nodes[node])
+		}
+	}
+	linkIDs := make([]int, 0, len(links))
+	for link := range links {
+		linkIDs = append(linkIDs, link)
+	}
+	sort.Ints(linkIDs)
+	for _, link := range linkIDs {
+		if link < 0 || link >= len(l.links) {
+			return fmt.Errorf("state: migration references link %d", link)
+		}
+		l.purgeLink(link)
+		lk := &l.links[link]
+		if lk.capacity-lk.committed-lk.held+old.links[link]+l.linkHeldBy(probe, link) < links[link] {
+			return fmt.Errorf("state: link %d cannot cover %.1f kbps post-flip", link, links[link])
+		}
+	}
+	// Flip. Change observers fire once per touched node/link, after its
+	// committed amount reaches the post-flip value.
+	l.releaseOwner(probe)
+	delete(l.migrations, probe)
+	delete(l.sessions, session)
+	alloc := sessionAlloc{nodes: make(map[int]qos.Resources, len(nodes)), links: make(map[int]float64, len(links))}
+	for _, node := range nodeIDs {
+		l.nodes[node].committed = l.nodes[node].committed.Add(nodes[node])
+		alloc.nodes[node] = nodes[node]
+	}
+	oldNodeIDs := make([]int, 0, len(old.nodes))
+	for node := range old.nodes {
+		oldNodeIDs = append(oldNodeIDs, node)
+	}
+	sort.Ints(oldNodeIDs)
+	for _, node := range oldNodeIDs {
+		l.nodes[node].committed = l.nodes[node].committed.Sub(old.nodes[node])
+	}
+	for _, link := range linkIDs {
+		l.links[link].committed += links[link]
+		alloc.links[link] = links[link]
+	}
+	oldLinkIDs := make([]int, 0, len(old.links))
+	for link := range old.links {
+		oldLinkIDs = append(oldLinkIDs, link)
+	}
+	sort.Ints(oldLinkIDs)
+	for _, link := range oldLinkIDs {
+		l.links[link].committed -= old.links[link]
+	}
+	l.sessions[probe] = alloc
+	for _, node := range mergedIDs(nodeIDs, oldNodeIDs) {
+		l.notifyNode(node)
+	}
+	for _, link := range mergedIDs(linkIDs, oldLinkIDs) {
+		l.notifyLink(link)
+	}
+	return nil
+}
+
+// mergedIDs unions two sorted ID slices, preserving order.
+func mergedIDs(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default: // equal
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}
+
+// migrationNodeCredit returns the reusable committed share on node for
+// an owner registered as a migration probe. Zero-cost when no migration
+// is in flight.
+func (l *Ledger) migrationNodeCredit(owner Owner, node int) (qos.Resources, bool) {
+	if len(l.migrations) == 0 {
+		return qos.Resources{}, false
+	}
+	session, ok := l.migrations[owner]
+	if !ok {
+		return qos.Resources{}, false
+	}
+	amount, ok := l.sessions[session].nodes[node]
+	return amount, ok
+}
+
+// migrationLinkCredit is migrationNodeCredit for overlay links.
+func (l *Ledger) migrationLinkCredit(owner Owner, link int) (float64, bool) {
+	if len(l.migrations) == 0 {
+		return 0, false
+	}
+	session, ok := l.migrations[owner]
+	if !ok {
+		return 0, false
+	}
+	bw, ok := l.sessions[session].links[link]
+	return bw, ok
+}
+
+// nodeHeldBy sums owner's live transient holds on the node.
+func (l *Ledger) nodeHeldBy(owner Owner, node int) qos.Resources {
+	var sum qos.Resources
+	for _, h := range l.nodes[node].holds {
+		if h.owner == owner {
+			sum = sum.Add(h.amount)
+		}
+	}
+	return sum
+}
+
+// linkHeldBy sums owner's live transient holds on the overlay link.
+func (l *Ledger) linkHeldBy(owner Owner, link int) float64 {
+	sum := 0.0
+	for _, h := range l.links[link].holds {
+		if h.owner == owner {
+			sum += h.amount
+		}
+	}
+	return sum
+}
+
+// minRes is the componentwise minimum of two resource vectors.
+func minRes(a, b qos.Resources) qos.Resources {
+	return qos.Resources{CPU: math.Min(a.CPU, b.CPU), Memory: math.Min(a.Memory, b.Memory)}
 }
 
 func (l *Ledger) notifyNode(node int) {
@@ -523,6 +781,14 @@ func (l *Ledger) CheckInvariants() error {
 			committedLinks[link] += bw
 		}
 	}
+	for probe, session := range l.migrations {
+		if _, ok := l.sessions[session]; !ok {
+			return fmt.Errorf("state: migration probe %d references unknown session %d", probe, session)
+		}
+		if _, ok := l.sessions[probe]; ok {
+			return fmt.Errorf("state: migration probe %d already owns a committed session", probe)
+		}
+	}
 	const eps = 1e-6
 	for i := range l.nodes {
 		l.purgeNode(i)
@@ -537,7 +803,16 @@ func (l *Ledger) CheckInvariants() error {
 		if d := committedNodes[i].Sub(n.committed); d.CPU > eps || d.CPU < -eps || d.Memory > eps || d.Memory < -eps {
 			return fmt.Errorf("state: node %d committed %v != session sum %v", i, n.committed, committedNodes[i])
 		}
-		if avail := n.capacity.Sub(n.committed).Sub(n.held); avail.CPU < -eps || avail.Memory < -eps {
+		// A migration probe's holds legitimately overlap its source
+		// session's committed share (make-before-break); credit that
+		// overlap before the over-allocation check.
+		var credit qos.Resources
+		for probe, session := range l.migrations {
+			if amount, ok := l.sessions[session].nodes[i]; ok {
+				credit = credit.Add(minRes(amount, l.nodeHeldBy(probe, i)))
+			}
+		}
+		if avail := n.capacity.Sub(n.committed).Sub(n.held).Add(credit); avail.CPU < -eps || avail.Memory < -eps {
 			return fmt.Errorf("state: node %d over-allocated: available %v", i, avail)
 		}
 	}
@@ -554,7 +829,13 @@ func (l *Ledger) CheckInvariants() error {
 		if d := committedLinks[i] - lk.committed; d > eps || d < -eps {
 			return fmt.Errorf("state: link %d committed %v != session sum %v", i, lk.committed, committedLinks[i])
 		}
-		if avail := lk.capacity - lk.committed - lk.held; avail < -eps {
+		credit := 0.0
+		for probe, session := range l.migrations {
+			if bw, ok := l.sessions[session].links[i]; ok {
+				credit += math.Min(bw, l.linkHeldBy(probe, i))
+			}
+		}
+		if avail := lk.capacity - lk.committed - lk.held + credit; avail < -eps {
 			return fmt.Errorf("state: link %d over-allocated: available %v", i, avail)
 		}
 	}

@@ -1,0 +1,80 @@
+package tuning
+
+import (
+	"fmt"
+	"math"
+)
+
+// HoltConfig parameterises double exponential smoothing.
+type HoltConfig struct {
+	// Alpha is the level smoothing factor in (0, 1].
+	Alpha float64
+	// Beta is the trend smoothing factor in (0, 1].
+	Beta float64
+}
+
+// DefaultHoltConfig returns smoothing factors that track session-phi
+// drift quickly (half-life of a couple of monitor ticks) while damping
+// single-tick noise.
+func DefaultHoltConfig() HoltConfig {
+	return HoltConfig{Alpha: 0.5, Beta: 0.3}
+}
+
+func (c *HoltConfig) validate() error {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("tuning: Holt Alpha %v out of (0, 1]", c.Alpha)
+	}
+	if c.Beta <= 0 || c.Beta > 1 {
+		return fmt.Errorf("tuning: Holt Beta %v out of (0, 1]", c.Beta)
+	}
+	return nil
+}
+
+// Holt is a Holt (double exponential smoothing) forecaster over a
+// scalar series: it tracks a smoothed level and linear trend and
+// extrapolates them, which is enough look-ahead for a re-composition
+// controller to act on steadily rising congestion before the QoS bound
+// is actually crossed. Not safe for concurrent use.
+type Holt struct {
+	cfg    HoltConfig
+	level  float64
+	trend  float64
+	primed bool
+}
+
+// NewHolt builds a forecaster; the first observation primes the level
+// with zero trend.
+func NewHolt(cfg HoltConfig) (*Holt, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Holt{cfg: cfg}, nil
+}
+
+// Observe feeds the next value of the series. Non-finite values are
+// ignored so a transient Inf residual cannot poison the state.
+func (h *Holt) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if !h.primed {
+		h.level, h.trend, h.primed = v, 0, true
+		return
+	}
+	prev := h.level
+	h.level = h.cfg.Alpha*v + (1-h.cfg.Alpha)*(h.level+h.trend)
+	h.trend = h.cfg.Beta*(h.level-prev) + (1-h.cfg.Beta)*h.trend
+}
+
+// Forecast extrapolates the series the given number of steps ahead of
+// the last observation (0 returns the smoothed level). Before any
+// observation it returns NaN.
+func (h *Holt) Forecast(steps int) float64 {
+	if !h.primed {
+		return math.NaN()
+	}
+	return h.level + float64(steps)*h.trend
+}
+
+// Primed reports whether at least one observation has been fed.
+func (h *Holt) Primed() bool { return h.primed }

@@ -1,0 +1,63 @@
+package tuning
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHoltValidation(t *testing.T) {
+	for _, cfg := range []HoltConfig{{Alpha: 0, Beta: 0.3}, {Alpha: 1.5, Beta: 0.3}, {Alpha: 0.5, Beta: 0}, {Alpha: 0.5, Beta: 2}} {
+		if _, err := NewHolt(cfg); err == nil {
+			t.Errorf("NewHolt(%+v) accepted", cfg)
+		}
+	}
+	if _, err := NewHolt(DefaultHoltConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoltTracksLinearTrend(t *testing.T) {
+	h, err := NewHolt(DefaultHoltConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(h.Forecast(1)) {
+		t.Fatal("unprimed forecast not NaN")
+	}
+	// Feed y = 2 + 0.5*t; after convergence the one-step forecast must
+	// land near the true next value.
+	for i := 0; i < 50; i++ {
+		h.Observe(2 + 0.5*float64(i))
+	}
+	want := 2 + 0.5*50
+	if got := h.Forecast(1); math.Abs(got-want) > 0.1 {
+		t.Fatalf("Forecast(1) = %v, want ~%v", got, want)
+	}
+	want3 := 2 + 0.5*52
+	if got := h.Forecast(3); math.Abs(got-want3) > 0.3 {
+		t.Fatalf("Forecast(3) = %v, want ~%v", got, want3)
+	}
+}
+
+func TestHoltConstantSeries(t *testing.T) {
+	h, _ := NewHolt(DefaultHoltConfig())
+	for i := 0; i < 10; i++ {
+		h.Observe(7)
+	}
+	if got := h.Forecast(5); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("constant series forecast = %v, want 7", got)
+	}
+}
+
+func TestHoltIgnoresNonFinite(t *testing.T) {
+	h, _ := NewHolt(DefaultHoltConfig())
+	h.Observe(3)
+	h.Observe(math.Inf(1))
+	h.Observe(math.NaN())
+	if got := h.Forecast(0); got != 3 {
+		t.Fatalf("level after non-finite feeds = %v, want 3", got)
+	}
+	if !h.Primed() {
+		t.Fatal("forecaster lost primed state")
+	}
+}
