@@ -81,10 +81,10 @@ func TestReproduceFigureUnknown(t *testing.T) {
 
 func TestFigureNames(t *testing.T) {
 	names := acp.FigureNames()
-	if len(names) != 12 {
+	if len(names) != 13 {
 		t.Errorf("FigureNames = %v", names)
 	}
-	for _, want := range []string{"faults", "adaptation"} {
+	for _, want := range []string{"faults", "adaptation", "fairness"} {
 		found := false
 		for _, n := range names {
 			if n == want {

@@ -10,6 +10,7 @@
 //	acpsim -trace-out probes.jsonl -metrics-out counters.txt
 //	acpsim -dist -fault-drop 0.2 -fault-crashes 3 -requests 64
 //	acpsim -adapt -surges 4 && acpsim -adapt -adapt-predictive
+//	acpsim -multi-app -family diurnal -tenants 4 && acpsim -fairness
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/faults"
+	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/trace"
@@ -89,6 +91,13 @@ func run(args []string) error {
 		adaptPred = fs.Bool("adapt-predictive", false, "adapt: migrate on Holt forecast before the bound is crossed")
 		surges    = fs.Int("surges", 4, "adapt: number of congestion surges in the schedule")
 		sessions  = fs.Int("sessions", 4, "adapt: concurrent session population")
+
+		multiApp = fs.Bool("multi-app", false, "run an oracle-audited concurrent multi-application episode on the live runtime")
+		famName  = fs.String("family", "flash-crowd", "multi-app: workload scenario family ("+strings.Join(familyNames(), ", ")+", or all)")
+		tenants  = fs.Int("tenants", 3, "multi-app: competing application count")
+		ticks    = fs.Int("ticks", 18, "multi-app: episode length in admission rounds")
+		load     = fs.Float64("load", 1.5, "multi-app: expected arrivals per tenant per tick")
+		fairFig  = fs.Bool("fairness", false, "print the multi-application fairness figure (success rate and Jain index vs load per family)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +107,12 @@ func run(args []string) error {
 	}
 	if *adaptMode {
 		return runAdapt(*seed, *sessions, *surges, !*adaptOff, *adaptPred)
+	}
+	if *fairFig {
+		return runFairness(*seed)
+	}
+	if *multiApp {
+		return runMultiApp(*seed, *famName, *tenants, *ticks, *load)
 	}
 
 	alg, err := parseAlgorithm(*algName)
@@ -353,6 +368,71 @@ func runAdapt(seed int64, sessions, surges int, adapt, predictive bool) error {
 	fmt.Printf("violation ticks  %d (mean %.1f per episode)\n", res.ViolationTicks, res.MeanViolationTicks)
 	fmt.Printf("migrations       %d (%d preemptive, %d abandoned)\n", res.Migrations, res.Preemptive, res.Abandoned)
 	fmt.Printf("wall clock       %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// familyNames lists the multi-app scenario family spellings.
+func familyNames() []string {
+	fams := workload.Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.String()
+	}
+	return names
+}
+
+// runMultiApp plays one (or, for "all", every) scenario family through
+// the oracle-audited concurrent multi-application harness and reports
+// the admission partition and fairness indices. A failing run prints
+// the seed so `acpsim -multi-app -seed <seed>` replays it exactly.
+func runMultiApp(seed int64, famName string, tenants, ticks int, load float64) error {
+	fams := workload.Families()
+	if famName != "all" {
+		f, err := workload.ParseFamily(famName)
+		if err != nil {
+			return err
+		}
+		fams = []workload.Family{f}
+	}
+	start := time.Now()
+	for _, f := range fams {
+		rep, err := harness.RunMultiAppScenario(harness.MultiAppConfig{
+			Seed:    seed,
+			Family:  f,
+			Tenants: tenants,
+			Ticks:   ticks,
+			Load:    load,
+			Oracle:  true,
+		})
+		if err != nil {
+			return fmt.Errorf("seed %d: %w (replay: acpsim -multi-app -family %s -seed %d)", seed, err, f, seed)
+		}
+		fmt.Printf("family           %s (seed %d, %d tenants, %d ticks, load %.2f)\n",
+			rep.Family, rep.Seed, rep.Tenants, ticks, load)
+		fmt.Printf("arrivals         %d (%d admitted, %d quota-rejected, %d refused)\n",
+			rep.Arrivals, rep.Admitted, rep.QuotaRejected, rep.Refused)
+		for i := range rep.TenantArrivals {
+			fmt.Printf("  tenant t%d      %d/%d admitted\n", i, rep.TenantAdmitted[i], rep.TenantArrivals[i])
+		}
+		fmt.Printf("fairness         %.3f admission Jain, %.3f min live weighted Jain\n",
+			rep.Fairness, rep.MinLiveFairness)
+	}
+	fmt.Printf("wall clock       %v (oracle-audited)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runFairness prints the multi-application fairness figure.
+func runFairness(seed int64) error {
+	tables, err := experiment.FairnessSweep(experiment.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := t.Fprint(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
 	return nil
 }
 

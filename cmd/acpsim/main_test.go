@@ -217,3 +217,29 @@ func TestRunServeObs(t *testing.T) {
 		t.Fatal("unbindable -serve-obs address accepted")
 	}
 }
+
+// TestRunMultiApp plays a short oracle-audited multi-application
+// episode per flag path: a single named family, the "all" spelling,
+// and an unknown family name.
+func TestRunMultiApp(t *testing.T) {
+	args := []string{"-multi-app", "-family", "churn", "-tenants", "2",
+		"-ticks", "5", "-load", "1"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-multi-app", "-family", "all", "-ticks", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-multi-app", "-family", "bogus"}); err == nil {
+		t.Error("unknown scenario family accepted")
+	}
+}
+
+func TestRunFairnessFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run in -short mode")
+	}
+	if err := run([]string{"-fairness", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@ package component
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/qos"
@@ -296,6 +297,22 @@ type Request struct {
 	// MinSecurity is the minimum component security level acceptable to
 	// this application (0 or 1 = unconstrained).
 	MinSecurity int
+	// Tenant labels the application (multi-tenant clusters); empty in
+	// single-application runs.
+	Tenant string
+	// Weight is the tenant's phi weight under core.PhiWeighted; zero
+	// means the default weight 1 (see PhiWeight).
+	Weight float64
+}
+
+// PhiWeight returns the request's effective phi weight: Weight when
+// set, otherwise the baseline 1, so single-application requests never
+// have to spell a weight out.
+func (r *Request) PhiWeight() float64 {
+	if r.Weight > 0 {
+		return r.Weight
+	}
+	return 1
 }
 
 // Validate checks the request is internally consistent.
@@ -318,6 +335,9 @@ func (r *Request) Validate() error {
 	}
 	if r.MinSecurity < 0 {
 		return fmt.Errorf("component: request %d has negative security level", r.ID)
+	}
+	if r.Weight < 0 || math.IsNaN(r.Weight) || math.IsInf(r.Weight, 0) {
+		return fmt.Errorf("component: request %d has invalid phi weight %v", r.ID, r.Weight)
 	}
 	return nil
 }

@@ -91,6 +91,45 @@ const (
 	SelectRandom
 )
 
+// PhiMode selects the objective a composition is scored with. The
+// paper's Eq. 1 sums congestion terms; the variants support fairness
+// objectives for concurrent multi-application clusters ("Resource
+// Allocation for Multiple Concurrent In-Network Stream-Processing
+// Applications", PAPERS.md).
+type PhiMode int
+
+// Phi objectives.
+const (
+	// PhiSum is Eq. 1: the sum of node and link congestion terms.
+	// The zero value, so existing configs keep the paper's objective.
+	PhiSum PhiMode = iota
+	// PhiWeighted scales the Eq. 1 sum by the request's phi weight
+	// (component.Request.PhiWeight): a higher-priority tenant sees its
+	// congestion magnified, so it claims less-loaded placements first
+	// and its admission-time requiredPhi bound is proportionally
+	// tighter.
+	PhiWeighted
+	// PhiBottleneck scores a composition by its single worst
+	// congestion term instead of the sum — minimising the maximum is
+	// the classic max-min fairness surrogate, spreading competing
+	// tenants away from shared hot spots.
+	PhiBottleneck
+)
+
+// String names the mode as configs and reports spell it.
+func (m PhiMode) String() string {
+	switch m {
+	case PhiSum:
+		return "sum"
+	case PhiWeighted:
+		return "weighted"
+	case PhiBottleneck:
+		return "bottleneck"
+	default:
+		return fmt.Sprintf("PhiMode(%d)", int(m))
+	}
+}
+
 // Env bundles the substrate a composer operates on.
 type Env struct {
 	Mesh     *overlay.Mesh
@@ -155,6 +194,9 @@ type Config struct {
 	// MaxProbesPerRequest caps probe fan-out per request as a safety
 	// valve for Optimal's exponential search. Zero means the default.
 	MaxProbesPerRequest int
+	// Phi selects the composition objective. The zero value PhiSum is
+	// the paper's Eq. 1; the variants support multi-tenant fairness.
+	Phi PhiMode
 }
 
 // DefaultConfig returns an ACP composer configuration with the paper's
@@ -251,6 +293,9 @@ func NewComposer(env Env, cfg Config) (*Composer, error) {
 	}
 	if cfg.MaxProbesPerRequest < 0 {
 		return nil, fmt.Errorf("core: MaxProbesPerRequest %d < 0", cfg.MaxProbesPerRequest)
+	}
+	if cfg.Phi < PhiSum || cfg.Phi > PhiBottleneck {
+		return nil, fmt.Errorf("core: unknown phi mode %d", int(cfg.Phi))
 	}
 	if cfg.Selection == 0 {
 		if cfg.Algorithm == AlgRP {

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/component"
+	"repro/internal/qos"
+)
+
+// probeBest runs one AlgOptimal probe under the given phi mode against a
+// fresh environment built from seed, returning the winning composition.
+// AlgOptimal makes the comparison exhaustive: the winner is the true
+// argmin of the objective, not a probing-ratio artifact.
+func probeBest(t *testing.T, seed int64, mode PhiMode, weight float64) *Composition {
+	t.Helper()
+	env, _ := testEnv(t, seed)
+	cfg := DefaultConfig()
+	cfg.Algorithm = AlgOptimal
+	cfg.Phi = mode
+	c := mustComposer(t, env, cfg)
+	req := easyRequest(1)
+	req.Weight = weight
+	out, err := c.Probe(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Success() {
+		t.Fatalf("probe failed under phi mode %v", mode)
+	}
+	return out.Best
+}
+
+func TestPhiWeightedScalesSum(t *testing.T) {
+	const seed, weight = 11, 2.5
+	base := probeBest(t, seed, PhiSum, 0)
+	weighted := probeBest(t, seed, PhiWeighted, weight)
+	// A constant per-request weight cannot change the argmin, only the
+	// score: same composition, phi scaled by exactly the weight.
+	if len(base.Components) != len(weighted.Components) {
+		t.Fatalf("weighted run chose a different shape: %d vs %d components",
+			len(weighted.Components), len(base.Components))
+	}
+	for i := range base.Components {
+		if base.Components[i] != weighted.Components[i] {
+			t.Fatalf("weighted run chose component %v at position %d, want %v",
+				weighted.Components[i], i, base.Components[i])
+		}
+	}
+	if got, want := weighted.Phi, base.Phi*weight; math.Abs(got-want) > 1e-12*math.Abs(want) {
+		t.Errorf("weighted phi = %v, want %v", got, want)
+	}
+}
+
+func TestPhiWeightedDefaultsToUnitWeight(t *testing.T) {
+	const seed = 12
+	base := probeBest(t, seed, PhiSum, 0)
+	weighted := probeBest(t, seed, PhiWeighted, 0) // Weight unset => 1
+	if weighted.Phi != base.Phi {
+		t.Errorf("unit-weight weighted phi = %v, want sum phi %v", weighted.Phi, base.Phi)
+	}
+}
+
+func TestPhiBottleneckIsBoundedBySum(t *testing.T) {
+	const seed = 13
+	bottleneck := probeBest(t, seed, PhiBottleneck, 0)
+	if bottleneck.Phi <= 0 {
+		t.Fatalf("bottleneck phi = %v, want > 0", bottleneck.Phi)
+	}
+	// Recompute the sum objective over the composition the bottleneck
+	// run chose: the max term can never exceed the sum of terms, and
+	// with a 3-position path plus links it must be strictly below it.
+	env, _ := testEnv(t, seed)
+	cfg := DefaultConfig()
+	cfg.Algorithm = AlgOptimal
+	c := mustComposer(t, env, cfg)
+	req := easyRequest(1)
+	out, err := c.Probe(req)
+	if err != nil || !out.Success() {
+		t.Fatalf("sum probe: %v success=%v", err, out != nil && out.Success())
+	}
+	if bottleneck.Phi >= out.Best.Phi+1e-12 {
+		t.Errorf("bottleneck phi %v not below sum objective %v", bottleneck.Phi, out.Best.Phi)
+	}
+}
+
+func TestPhiModeValidation(t *testing.T) {
+	env, _ := testEnv(t, 14)
+	cfg := DefaultConfig()
+	cfg.Phi = PhiBottleneck + 1
+	if _, err := NewComposer(env, cfg); err == nil {
+		t.Error("NewComposer accepted an unknown phi mode")
+	}
+	cfg.Phi = -1
+	if _, err := NewComposer(env, cfg); err == nil {
+		t.Error("NewComposer accepted a negative phi mode")
+	}
+}
+
+func TestPhiModeStrings(t *testing.T) {
+	cases := map[PhiMode]string{
+		PhiSum:        "sum",
+		PhiWeighted:   "weighted",
+		PhiBottleneck: "bottleneck",
+	}
+	for mode, want := range cases {
+		if got := mode.String(); got != want {
+			t.Errorf("PhiMode(%d).String() = %q, want %q", int(mode), got, want)
+		}
+	}
+}
+
+func TestRequestWeightValidation(t *testing.T) {
+	req := easyRequest(1)
+	req.Weight = -1
+	if err := req.Validate(); err == nil {
+		t.Error("Validate accepted a negative weight")
+	}
+	req.Weight = math.NaN()
+	if err := req.Validate(); err == nil {
+		t.Error("Validate accepted a NaN weight")
+	}
+	req.Weight = 0
+	if err := req.Validate(); err != nil {
+		t.Errorf("Validate rejected the zero (default) weight: %v", err)
+	}
+	if got := req.PhiWeight(); got != 1 {
+		t.Errorf("PhiWeight() = %v for unset weight, want 1", got)
+	}
+	req.Weight = 3
+	if got := req.PhiWeight(); got != 3 {
+		t.Errorf("PhiWeight() = %v, want 3", got)
+	}
+	var _ = component.Request{} // keep the import anchored to the tested type
+}
+
+func TestPhiBottleneckSingleTermEqualsSum(t *testing.T) {
+	// With a single-position graph and a co-located (or absent) route
+	// set there is exactly one congestion term, so bottleneck == sum.
+	env, _ := testEnv(t, 15)
+	for _, mode := range []PhiMode{PhiSum, PhiBottleneck} {
+		cfg := DefaultConfig()
+		cfg.Algorithm = AlgOptimal
+		cfg.Phi = mode
+		c := mustComposer(t, env, cfg)
+		req := &component.Request{
+			ID:           int64(100 + mode),
+			Graph:        component.NewPathGraph([]component.FunctionID{0}),
+			QoSReq:       qos.Vector{Delay: 100000, LossCost: qos.LossCost(0.9)},
+			ResReq:       []qos.Resources{{CPU: 10, Memory: 100}},
+			BandwidthReq: 100,
+			Client:       3,
+			Duration:     easyRequest(1).Duration,
+		}
+		out, err := c.Probe(req)
+		if err != nil || !out.Success() {
+			t.Fatalf("mode %v probe: %v", mode, err)
+		}
+		c.Abort(req.ID)
+		if mode == PhiBottleneck {
+			sum := probeSinglePosition(t, env)
+			if math.Abs(out.Best.Phi-sum) > 1e-12 {
+				t.Errorf("single-term bottleneck phi = %v, sum phi = %v", out.Best.Phi, sum)
+			}
+		}
+	}
+}
+
+// probeSinglePosition recomputes the sum-mode phi of the one-position
+// request against the same environment.
+func probeSinglePosition(t *testing.T, env Env) float64 {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Algorithm = AlgOptimal
+	c := mustComposer(t, env, cfg)
+	req := &component.Request{
+		ID:           999,
+		Graph:        component.NewPathGraph([]component.FunctionID{0}),
+		QoSReq:       qos.Vector{Delay: 100000, LossCost: qos.LossCost(0.9)},
+		ResReq:       []qos.Resources{{CPU: 10, Memory: 100}},
+		BandwidthReq: 100,
+		Client:       3,
+		Duration:     easyRequest(1).Duration,
+	}
+	out, err := c.Probe(req)
+	if err != nil || !out.Success() {
+		t.Fatalf("sum probe: %v", err)
+	}
+	c.Abort(req.ID)
+	return out.Best.Phi
+}

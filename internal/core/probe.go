@@ -841,6 +841,12 @@ func (c *Composer) accumulateDemands(req *component.Request, comps []component.C
 // link contributes b/(rb + b) with rb the bottleneck residual bandwidth
 // after this request's reservations (0 for co-located links, footnote 8).
 //
+// Under PhiSum the sum accumulates in the exact order above — the
+// 50-seed golden parity test pins that float arithmetic bit-for-bit.
+// The fairness variants only post-process: PhiWeighted scales the sum
+// by the request's phi weight, PhiBottleneck returns the single worst
+// term tracked alongside the sum.
+//
 //acp:hotpath
 func (c *Composer) phi(req *component.Request, comps []component.ComponentID, routes []overlay.Route,
 	nodes []nodeDemand, links []linkDemand) float64 {
@@ -852,7 +858,7 @@ func (c *Composer) phi(req *component.Request, comps []component.ComponentID, ro
 		residuals = append(residuals, c.env.Ledger.NodeAvailableFor(owner, nd.node).Sub(nd.amount))
 	}
 	sc.residuals = residuals
-	total := 0.0
+	total, worst := 0.0, 0.0
 	for pos, id := range comps {
 		node := c.env.Catalog.Component(id).Node
 		var residual qos.Resources
@@ -862,7 +868,9 @@ func (c *Composer) phi(req *component.Request, comps []component.ComponentID, ro
 				break
 			}
 		}
-		total += qos.CongestionTerm(req.ResReq[pos], residual)
+		term := qos.CongestionTerm(req.ResReq[pos], residual)
+		total += term
+		worst = math.Max(worst, term)
 	}
 	for _, route := range routes {
 		residual := math.Inf(1)
@@ -879,9 +887,18 @@ func (c *Composer) phi(req *component.Request, comps []component.ComponentID, ro
 				residual = math.Min(residual, r)
 			}
 		}
-		total += qos.BandwidthCongestionTerm(req.BandwidthReq, residual)
+		term := qos.BandwidthCongestionTerm(req.BandwidthReq, residual)
+		total += term
+		worst = math.Max(worst, term)
 	}
-	return total
+	switch c.cfg.Phi {
+	case PhiWeighted:
+		return total * req.PhiWeight()
+	case PhiBottleneck:
+		return worst
+	default:
+		return total
+	}
 }
 
 // probeDirect implements the Random and Static heuristics: choose one

@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// fairnessLoads is the offered-load x-axis of the fairness figure, in
+// expected arrivals per tenant per tick.
+var fairnessLoads = []float64{0.5, 1, 1.5, 2, 3}
+
+// fairnessTenants is the competing-application count of every cell.
+const fairnessTenants = 3
+
+// FairnessSweep produces the concurrent multi-application fairness
+// figure (not a paper figure): for every workload scenario family, the
+// admission success rate and the Jain fairness index over per-tenant
+// success rates as functions of the offered load, under per-tenant
+// quota admission and the family's phi objective. Each cell is one
+// seeded episode of the oracle-audited multi-app harness (the oracle
+// replay itself is exercised by the harness test suite; the figure
+// skips it for speed — the runs are identical either way).
+func FairnessSweep(o Options) ([]*Table, error) {
+	o = o.normalize()
+	families := workload.Families()
+
+	succ := &Table{
+		Title:  "Fairness: admission success rate (%) vs offered load (arrivals/tenant/tick), 3 tenants, quota admission",
+		Header: []string{"load"},
+	}
+	fair := &Table{
+		Title:  "Fairness: Jain index over per-tenant success rates vs offered load, 3 tenants, quota admission",
+		Header: []string{"load"},
+	}
+	for _, f := range families {
+		succ.Header = append(succ.Header, f.String())
+		fair.Header = append(fair.Header, f.String())
+	}
+
+	for _, load := range fairnessLoads {
+		succRow := []string{fmt.Sprintf("%.1f", load)}
+		fairRow := []string{fmt.Sprintf("%.1f", load)}
+		for _, f := range families {
+			rep, err := harness.RunMultiAppScenario(harness.MultiAppConfig{
+				Seed:    o.Seed,
+				Family:  f,
+				Tenants: fairnessTenants,
+				Ticks:   24,
+				Load:    load,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiment: fairness cell family=%s load=%v: %w", f, load, err)
+			}
+			rate := 0.0
+			if rep.Arrivals > 0 {
+				rate = float64(rep.Admitted) / float64(rep.Arrivals)
+			}
+			succRow = append(succRow, fmtPct(rate))
+			fairRow = append(fairRow, fmt.Sprintf("%.3f", rep.Fairness))
+		}
+		succ.AddRow(succRow...)
+		fair.AddRow(fairRow...)
+	}
+	return []*Table{succ, fair}, nil
+}

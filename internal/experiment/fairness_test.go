@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestFairnessSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure run in -short mode")
+	}
+	tables, err := FairnessSweep(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2 (success rate, Jain index)", len(tables))
+	}
+	families := workload.Families()
+	for _, tbl := range tables {
+		if len(tbl.Header) != 1+len(families) {
+			t.Fatalf("%s: header %v, want load + %d families", tbl.Title, tbl.Header, len(families))
+		}
+		if len(tbl.Rows) != len(fairnessLoads) {
+			t.Fatalf("%s: rows = %d, want %d", tbl.Title, len(tbl.Rows), len(fairnessLoads))
+		}
+	}
+	// Success rates are percentages; Jain cells sit in [1/n, 1].
+	for _, row := range tables[0].Rows {
+		for _, cell := range row[1:] {
+			if v := parsePct(t, cell); v < 0 || v > 100 {
+				t.Fatalf("success cell %q outside [0, 100]", cell)
+			}
+		}
+	}
+	min := 1/float64(fairnessTenants) - 1e-9
+	for _, row := range tables[1].Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("jain cell %q: %v", cell, err)
+			}
+			if v < min || v > 1+1e-9 {
+				t.Fatalf("jain cell %q outside [1/%d, 1]", cell, fairnessTenants)
+			}
+		}
+	}
+}

@@ -397,6 +397,9 @@ func Figures() map[string]FigureFunc {
 		// Not a paper figure: QoS-drift exposure with the runtime
 		// re-composition controller off vs on vs predictive.
 		"adaptation": AdaptationSweep,
+		// Not a paper figure: multi-application success rate and Jain
+		// fairness vs offered load per workload scenario family.
+		"fairness": FairnessSweep,
 	}
 }
 

@@ -1,0 +1,45 @@
+package metrics
+
+import "math"
+
+// JainIndex computes Jain's fairness index over per-tenant shares:
+//
+//	J(x) = (sum x_i)^2 / (n * sum x_i^2)
+//
+// J is 1 when every share is equal, 1/n when one tenant holds
+// everything, and scale-invariant (doubling every share changes
+// nothing). Non-finite and negative shares are treated as zero — a
+// fairness metric must not propagate a NaN from a broken gauge — and an
+// empty or all-zero share vector reports 1 (nothing allocated is
+// trivially fair).
+func JainIndex(shares []float64) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, x := range shares {
+		n++
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// WeightedJainIndex computes Jain's index over normalised shares
+// x_i/w_i: a tenant entitled to twice the weight is "fair" at twice the
+// share. Non-positive or non-finite weights default to 1.
+func WeightedJainIndex(shares, weights []float64) float64 {
+	norm := make([]float64, len(shares))
+	for i, x := range shares {
+		w := 1.0
+		if i < len(weights) && weights[i] > 0 && !math.IsInf(weights[i], 0) {
+			w = weights[i]
+		}
+		norm[i] = x / w
+	}
+	return JainIndex(norm)
+}

@@ -16,6 +16,11 @@ import (
 
 // FindSpec describes one composition request in a FindBatch call.
 type FindSpec struct {
+	// Tenant and Weight carry the request's tenant identity, as in
+	// FindRequest: quota-charged before the probe, typed *QuotaError
+	// rejection when over budget.
+	Tenant        string
+	Weight        float64
 	Graph         *component.Graph
 	QoSReq        qos.Vector
 	ResReq        []qos.Resources
@@ -68,6 +73,8 @@ func (c *Cluster) FindBatch(specs []FindSpec, workers int) ([]FindResult, error)
 			BandwidthReq: spec.BandwidthKbps,
 			Client:       c.rng.Intn(c.mesh.NumNodes()),
 			Duration:     time.Hour,
+			Tenant:       spec.Tenant,
+			Weight:       spec.Weight,
 		}
 	}
 	seeds := make([]int64, workers)
@@ -121,18 +128,29 @@ func (c *Cluster) FindBatch(specs []FindSpec, workers int) ([]FindResult, error)
 	return results, nil
 }
 
-// findOne runs one batched request on a worker composer: probe without
-// the cluster lock, then commit and register under it.
+// findOne runs one batched request on a worker composer: charge the
+// tenant's quota, probe without the cluster lock, then commit and
+// register under it. Charging before the (unlocked) probe is what keeps
+// concurrent workers from oversubscribing a tenant: the quota table is
+// its own critical section, and a worker whose probe fails refunds its
+// reservation.
 func (c *Cluster) findOne(composer *core.Composer, req *component.Request) FindResult {
+	demand := quotaDemand(req.Graph, req.ResReq, req.BandwidthReq)
+	if qerr := c.quota.charge(req.Tenant, demand); qerr != nil {
+		c.quotaRejections.With(tenantLabel(req.Tenant)).Inc()
+		return FindResult{Err: qerr}
+	}
 	findStart := c.now()
 	c.finds.Inc()
 	outcome, err := composer.Probe(req)
 	c.findLatencyMs.Observe(float64(c.now()-findStart) / float64(time.Millisecond))
 	if err != nil {
+		c.quota.refund(req.Tenant, demand)
 		c.findFailures.Inc()
 		return FindResult{Err: err}
 	}
 	if !outcome.Success() {
+		c.quota.refund(req.Tenant, demand)
 		c.findFailures.Inc()
 		c.mu.Lock()
 		c.observeFind(false)
@@ -141,6 +159,7 @@ func (c *Cluster) findOne(composer *core.Composer, req *component.Request) FindR
 	}
 	if err := composer.Commit(outcome); err != nil {
 		composer.Abort(req.ID)
+		c.quota.refund(req.Tenant, demand)
 		c.findFailures.Inc()
 		c.mu.Lock()
 		c.observeFind(false)
@@ -158,13 +177,21 @@ func (c *Cluster) findOne(composer *core.Composer, req *component.Request) FindR
 		procFn[pos] = c.functions[f] // nil = identity
 	}
 	c.sessions[id] = &session{
-		id:      id,
-		request: req,
-		comp:    outcome.Best,
-		procFn:  procFn,
-		perComp: make([]int64, req.Graph.NumPositions()),
-		dropped: make([]int64, req.Graph.NumPositions()),
+		id:          id,
+		request:     req,
+		comp:        outcome.Best,
+		tenant:      req.Tenant,
+		quotaCharge: demand,
+		requiredPhi: outcome.Best.Phi,
+		procFn:      procFn,
+		perComp:     make([]int64, req.Graph.NumPositions()),
+		dropped:     make([]int64, req.Graph.NumPositions()),
 	}
 	c.activeSessions.Set(float64(len(c.sessions)))
+	if req.Tenant != "" {
+		sess := sessionLabel(id)
+		c.sessionTenant.With(sess, req.Tenant).Set(req.PhiWeight())
+		c.tenantSessions.With(req.Tenant).Set(float64(c.quota.usageSessions(req.Tenant)))
+	}
 	return FindResult{Session: id}
 }

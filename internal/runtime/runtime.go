@@ -80,9 +80,16 @@ type Config struct {
 	ComponentsPerNode int
 	// NodeCapacity is the per-node end-system resource capacity.
 	NodeCapacity qos.Resources
+	// NodeCapacities, when non-nil, overrides NodeCapacity per node
+	// (heterogeneous node classes): entry i is node i's capacity. Its
+	// length must equal OverlayNodes.
+	NodeCapacities []qos.Resources
 	// Algorithm and ProbingRatio configure the composition engine.
 	Algorithm    core.Algorithm
 	ProbingRatio float64
+	// Phi selects the composition objective (core.PhiSum is the paper's
+	// Eq. 1; the variants support multi-tenant fairness).
+	Phi core.PhiMode
 	// QueueSize bounds each component's input queue (the paper's input
 	// queues absorb transient rate mismatch; §2.1). Default 64.
 	QueueSize int
@@ -129,6 +136,11 @@ type session struct {
 	id      SessionID
 	request *component.Request
 	comp    *core.Composition
+	// tenant and quotaCharge record what Find charged against the
+	// tenant's quota, refunded exactly on Close. Empty tenant sessions
+	// are metered under the "" tenant.
+	tenant      string
+	quotaCharge TenantUsage
 	// requiredPhi is the admission-time congestion bound: the phi the
 	// composition engine accepted at Find. Re-compositions must meet it
 	// (within the adaptation tolerance); it never changes on migration.
@@ -184,6 +196,19 @@ type Cluster struct {
 	// requirement gauge the adaptation drift monitor compares against.
 	// Set at Find, untouched by migration flips, deleted on Close.
 	sessionPhiReq *obs.GaugeVec
+
+	// Multi-tenant instruments. sessionTenant labels each live session
+	// with its tenant (value = phi weight) so scrapes can group the
+	// session gauge families by tenant; tenantSessions gauges each
+	// tenant's live session count; quotaRejections counts typed quota
+	// admissions refusals per tenant.
+	sessionTenant   *obs.GaugeVec
+	tenantSessions  *obs.GaugeVec
+	quotaRejections *obs.CounterVec
+
+	// quota is the per-tenant admission accounting; it has its own
+	// mutex (see quotaTable).
+	quota *quotaTable
 
 	clock clock.Clock
 
@@ -267,8 +292,25 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		sessionQoS:    cfg.Registry.GaugeVec("session.qos.observed", "session"),
 		sessionQoSReq: cfg.Registry.GaugeVec("session.qos.required", "session"),
 		sessionPhiReq: cfg.Registry.GaugeVec("session.phi.required", "session"),
+
+		sessionTenant:   cfg.Registry.GaugeVec("session.tenant", "session", "tenant"),
+		tenantSessions:  cfg.Registry.GaugeVec("runtime.tenant.sessions", "tenant"),
+		quotaRejections: cfg.Registry.CounterVec("runtime.quota_rejections", "tenant"),
+
+		quota: newQuotaTable(),
 	}
 	c.ledger = state.NewLedger(mesh, cfg.NodeCapacity, c.now)
+	if caps := cfg.NodeCapacities; caps != nil {
+		if len(caps) != mesh.NumNodes() {
+			return nil, fmt.Errorf("runtime: NodeCapacities has %d entries for %d overlay nodes",
+				len(caps), mesh.NumNodes())
+		}
+		for node, capacity := range caps {
+			if err := c.ledger.SetNodeCapacity(node, capacity); err != nil {
+				return nil, err
+			}
+		}
+	}
 	global, err := state.NewGlobal(c.ledger, mesh, state.DefaultGlobalConfig(), c.counters)
 	if err != nil {
 		return nil, err
@@ -293,6 +335,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.ProbingRatio != 0 {
 		ccfg.ProbingRatio = cfg.ProbingRatio
 	}
+	ccfg.Phi = cfg.Phi
 	composer, err := core.NewComposer(env, ccfg)
 	if err != nil {
 		return nil, err
@@ -384,21 +427,73 @@ func (c *Cluster) Counters() metrics.Counters {
 // success it commits the composition and returns a session identifier;
 // if no qualified composition exists it returns ErrNoComposition.
 func (c *Cluster) Find(graph *component.Graph, qosReq qos.Vector, resReq []qos.Resources, bandwidthKbps float64) (SessionID, error) {
+	return c.FindApp(FindRequest{
+		Graph:         graph,
+		QoSReq:        qosReq,
+		ResReq:        resReq,
+		BandwidthKbps: bandwidthKbps,
+	})
+}
+
+// FindRequest is the tenant-aware form of Find's arguments.
+type FindRequest struct {
+	// Tenant labels the requesting application for quota accounting and
+	// per-tenant gauges; empty means the anonymous single-app tenant.
+	Tenant string
+	// Weight is the request's phi weight under core.PhiWeighted
+	// (0 = default weight 1).
+	Weight float64
+	// PinClient pins the deputy to Client instead of drawing it from the
+	// cluster RNG — the simulation harness uses this to replay the exact
+	// request through its reference oracle.
+	PinClient     bool
+	Client        int
+	Graph         *component.Graph
+	QoSReq        qos.Vector
+	ResReq        []qos.Resources
+	BandwidthKbps float64
+}
+
+// FindApp is Find with a tenant identity: the request is first charged
+// against the tenant's quota (a typed *QuotaError rejection, wrapping
+// ErrQuotaExceeded, if over budget — the composer is never consulted),
+// then composed and committed as Find does. The quota charge is
+// refunded if composition fails, and on Close.
+func (c *Cluster) FindApp(r FindRequest) (SessionID, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return 0, errors.New("runtime: cluster is shut down")
 	}
 
+	demand := quotaDemand(r.Graph, r.ResReq, r.BandwidthKbps)
+	if qerr := c.quota.charge(r.Tenant, demand); qerr != nil {
+		c.quotaRejections.With(tenantLabel(r.Tenant)).Inc()
+		return 0, qerr
+	}
+
+	client := 0
+	if r.PinClient {
+		if r.Client < 0 || r.Client >= c.mesh.NumNodes() {
+			c.quota.refund(r.Tenant, demand)
+			return 0, fmt.Errorf("runtime: pinned client %d outside [0, %d)", r.Client, c.mesh.NumNodes())
+		}
+		client = r.Client
+	}
 	c.nextReq++
+	if !r.PinClient {
+		client = c.rng.Intn(c.mesh.NumNodes())
+	}
 	req := &component.Request{
 		ID:           c.nextReq,
-		Graph:        graph,
-		QoSReq:       qosReq,
-		ResReq:       append([]qos.Resources(nil), resReq...),
-		BandwidthReq: bandwidthKbps,
-		Client:       c.rng.Intn(c.mesh.NumNodes()),
+		Graph:        r.Graph,
+		QoSReq:       r.QoSReq,
+		ResReq:       append([]qos.Resources(nil), r.ResReq...),
+		BandwidthReq: r.BandwidthKbps,
+		Client:       client,
 		Duration:     time.Hour, // sessions live until Close
+		Tenant:       r.Tenant,
+		Weight:       r.Weight,
 	}
 	findStart := c.now()
 	c.finds.Inc()
@@ -407,16 +502,19 @@ func (c *Cluster) Find(graph *component.Graph, qosReq qos.Vector, resReq []qos.R
 	c.findLatencyMs.Observe(elapsedMs)
 	c.findQuantiles.Observe(elapsedMs)
 	if err != nil {
+		c.quota.refund(r.Tenant, demand)
 		c.findFailures.Inc()
 		return 0, err
 	}
 	if !outcome.Success() {
+		c.quota.refund(r.Tenant, demand)
 		c.observeFind(false)
 		c.findFailures.Inc()
 		return 0, ErrNoComposition
 	}
 	if err := c.composer.Commit(outcome); err != nil {
 		c.composer.Abort(req.ID)
+		c.quota.refund(r.Tenant, demand)
 		c.observeFind(false)
 		c.findFailures.Inc()
 		return 0, fmt.Errorf("runtime: commit: %w", err)
@@ -425,6 +523,7 @@ func (c *Cluster) Find(graph *component.Graph, qosReq qos.Vector, resReq []qos.R
 
 	c.nextID++
 	id := c.nextID
+	graph := r.Graph
 	procFn := make([]ProcessorFunc, graph.NumPositions())
 	for pos, f := range graph.Functions {
 		procFn[pos] = c.functions[f] // nil = identity
@@ -433,6 +532,8 @@ func (c *Cluster) Find(graph *component.Graph, qosReq qos.Vector, resReq []qos.R
 		id:          id,
 		request:     req,
 		comp:        outcome.Best,
+		tenant:      r.Tenant,
+		quotaCharge: demand,
 		requiredPhi: outcome.Best.Phi,
 		procFn:      procFn,
 		perComp:     make([]int64, graph.NumPositions()),
@@ -445,10 +546,23 @@ func (c *Cluster) Find(graph *component.Graph, qosReq qos.Vector, resReq []qos.R
 	c.activeSessions.Set(float64(len(c.sessions)))
 	sess := sessionLabel(id)
 	c.sessionPhi.With(sess).Set(outcome.Best.Phi)
-	c.sessionQoS.With(sess).Set(outcome.Best.QoS.MaxRatio(qosReq))
+	c.sessionQoS.With(sess).Set(outcome.Best.QoS.MaxRatio(r.QoSReq))
 	c.sessionQoSReq.With(sess).Set(1)
 	c.sessionPhiReq.With(sess).Set(outcome.Best.Phi)
+	if r.Tenant != "" {
+		c.sessionTenant.With(sess, r.Tenant).Set(req.PhiWeight())
+		c.tenantSessions.With(r.Tenant).Set(float64(c.quota.usageSessions(r.Tenant)))
+	}
 	return id, nil
+}
+
+// tenantLabel renders a tenant for label values; the anonymous tenant
+// scrapes as "default".
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
 }
 
 // Recompose re-runs the composition algorithm for a live session against
@@ -690,6 +804,11 @@ func (c *Cluster) Close(id SessionID) error {
 	c.sessionQoS.Delete(sess)
 	c.sessionQoSReq.Delete(sess)
 	c.sessionPhiReq.Delete(sess)
+	c.quota.refund(s.tenant, s.quotaCharge)
+	if s.tenant != "" {
+		c.sessionTenant.Delete(sess, s.tenant)
+		c.tenantSessions.With(s.tenant).Set(float64(c.quota.usageSessions(s.tenant)))
+	}
 	c.mu.Unlock()
 
 	if s.running {
@@ -799,6 +918,31 @@ func (c *Cluster) NodeResidual(node int) qos.Resources {
 	defer c.mu.Unlock()
 	return c.ledger.NodeCommittedAvailable(node)
 }
+
+// NodeCapacity returns a node's total capacity (per-node under
+// Config.NodeCapacities, uniform otherwise).
+func (c *Cluster) NodeCapacity(node int) qos.Resources {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ledger.NodeCapacity(node)
+}
+
+// LinkResidual returns an overlay link's committed residual bandwidth.
+func (c *Cluster) LinkResidual(link int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ledger.LinkCommittedAvailable(link)
+}
+
+// NumLinks returns the overlay link count.
+func (c *Cluster) NumLinks() int { return c.mesh.NumLinks() }
+
+// Mesh exposes the overlay mesh for read-only use — the simulation
+// harness's oracle rebuilds routes against the same substrate.
+func (c *Cluster) Mesh() *overlay.Mesh { return c.mesh }
+
+// Catalog exposes the component deployment for read-only use.
+func (c *Cluster) Catalog() *component.Catalog { return c.catalog }
 
 // InjectLoad commits synthetic background load on the ledger under a
 // negative owner ID (positive IDs belong to composed sessions), the

@@ -145,6 +145,30 @@ func (l *Ledger) NumLinks() int { return len(l.links) }
 // NodeCapacity returns the node's total capacity.
 func (l *Ledger) NodeCapacity(node int) qos.Resources { return l.nodes[node].capacity }
 
+// SetNodeCapacity overrides one node's capacity, supporting
+// heterogeneous node classes (fast/slow/memory-constrained). Call it
+// between NewLedger and NewGlobal: the global coarse views snapshot
+// ledger capacities when built, and shrinking capacity below an
+// existing committed+held allocation would corrupt the conservation
+// invariants, so overrides on a live ledger are rejected.
+func (l *Ledger) SetNodeCapacity(node int, capacity qos.Resources) error {
+	l.lock()
+	defer l.unlock()
+	if node < 0 || node >= len(l.nodes) {
+		return fmt.Errorf("state: node %d out of range", node)
+	}
+	if capacity.CPU <= 0 || capacity.Memory <= 0 {
+		return fmt.Errorf("state: node %d capacity %+v must be positive", node, capacity)
+	}
+	n := &l.nodes[node]
+	used := n.committed.Add(n.held)
+	if used.CPU > 0 || used.Memory > 0 {
+		return fmt.Errorf("state: node %d has live allocations %+v; set capacity before use", node, used)
+	}
+	n.capacity = capacity
+	return nil
+}
+
 // LinkCapacity returns the link's total bandwidth capacity.
 func (l *Ledger) LinkCapacity(link int) float64 { return l.links[link].capacity }
 
