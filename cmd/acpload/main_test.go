@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/runtime"
+	"repro/internal/server"
+)
+
+// startServer boots an in-process session server to load against.
+func startServer(t *testing.T) string {
+	t.Helper()
+	cfg := runtime.DefaultConfig()
+	cfg.IPNodes = 128
+	cfg.OverlayNodes = 24
+	cfg.NeighborsPerNode = 4
+	cfg.NumFunctions = 8
+	cfg.ComponentsPerNode = 3
+	c, err := runtime.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	srv, err := server.Listen("127.0.0.1:0", server.Config{Cluster: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv.Addr()
+}
+
+func TestClosedLoopReportsThroughput(t *testing.T) {
+	addr := startServer(t)
+	out := &strings.Builder{}
+	jsonPath := filepath.Join(t.TempDir(), "load.json")
+	err := run([]string{
+		"-addr", addr, "-clients", "2", "-duration", "500ms",
+		"-functions", "8", "-min-committed", "1", "-json", jsonPath,
+	}, out)
+	if err != nil {
+		t.Fatalf("acpload: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"compositions/sec", "p50", "p99", "p999", "rejected"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc baseline
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("baseline not JSON: %v\n%s", err, data)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "acpload/compose" {
+		t.Fatalf("baseline = %+v", doc)
+	}
+	b := doc.Benchmarks[0]
+	if b.Iterations < 1 || b.Metrics["compositions/sec"] <= 0 {
+		t.Fatalf("no throughput recorded: %+v", b)
+	}
+	for _, m := range []string{"p50-ms", "p99-ms", "p999-ms"} {
+		if _, ok := b.Metrics[m]; !ok {
+			t.Errorf("baseline missing metric %q: %+v", m, b.Metrics)
+		}
+	}
+}
+
+func TestFamilyModeDrivesArrivals(t *testing.T) {
+	addr := startServer(t)
+	out := &strings.Builder{}
+	err := run([]string{
+		"-addr", addr, "-clients", "2", "-functions", "8",
+		"-family", "flash-crowd", "-ticks", "4", "-tick", "50ms", "-load", "2",
+		"-min-committed", "1",
+	}, out)
+	if err != nil {
+		t.Fatalf("acpload family mode: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "family flash-crowd") {
+		t.Errorf("report missing family mode line:\n%s", out.String())
+	}
+}
+
+func TestMinCommittedGate(t *testing.T) {
+	// Nothing listens here: all cycles fail on transport, so the gate
+	// must trip.
+	out := &strings.Builder{}
+	err := run([]string{
+		"-addr", "127.0.0.1:1", "-clients", "1", "-duration", "100ms",
+		"-min-committed", "1",
+	}, out)
+	if err == nil || !strings.Contains(err.Error(), "need at least") {
+		t.Fatalf("gate did not trip: %v", err)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	out := &strings.Builder{}
+	if err := run([]string{"positional"}, out); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+	if err := run([]string{"-clients", "0"}, out); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+	if err := run([]string{"-family", "nope", "-addr", "127.0.0.1:1"}, out); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

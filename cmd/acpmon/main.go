@@ -67,13 +67,30 @@ func run(args []string, w io.Writer) error {
 		if n > 0 {
 			fmt.Fprintln(w)
 		}
-		summarise(w, s, prev, now.Sub(prevAt), *topK)
+		summarise(w, s, prev, elapsedBetween(prev, s, prevAt, now), *topK)
 		prev, prevAt = s, now
 		if *once || !isURL(target) || (*polls > 0 && n+1 >= *polls) {
 			return nil
 		}
 		time.Sleep(*interval)
 	}
+}
+
+// elapsedBetween returns the time base for counter rates between two
+// polls. When both snapshots carry a server-stamped scrape instant
+// (/metrics.json since the AtUnixNanos field), the server-reported
+// elapsed is authoritative: a poll delayed by scheduling, TCP stalls, or
+// a laptop suspend then yields exact rates instead of rates diluted by
+// however long the client dawdled. Older endpoints (or saved snapshots)
+// without the stamp fall back to the client's own poll clock.
+func elapsedBetween(prev, cur *obs.Snapshot, prevAt, curAt time.Time) time.Duration {
+	if prev == nil {
+		return 0
+	}
+	if prev.AtUnixNanos != 0 && cur.AtUnixNanos != 0 && cur.AtUnixNanos > prev.AtUnixNanos {
+		return time.Duration(cur.AtUnixNanos - prev.AtUnixNanos)
+	}
+	return curAt.Sub(prevAt)
 }
 
 func isURL(target string) bool {

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -142,6 +143,33 @@ func TestLiveEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "/s") {
 		t.Errorf("second poll missing rate column:\n%s", out.String())
+	}
+}
+
+// TestElapsedBetweenPrefersServerTimestamps pins the rate base: when
+// both scrapes carry a server-stamped instant, rates use the
+// server-reported elapsed — a poll that arrived late must not dilute
+// the rate — and snapshots without the stamp fall back to the client's
+// poll clock.
+func TestElapsedBetweenPrefersServerTimestamps(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	// The server says exactly 2s elapsed; the client's poll clock saw 5s
+	// (a jittery poll). The server wins.
+	prev := &obs.Snapshot{AtUnixNanos: t0.UnixNano()}
+	cur := &obs.Snapshot{AtUnixNanos: t0.Add(2 * time.Second).UnixNano()}
+	if got := elapsedBetween(prev, cur, t0, t0.Add(5*time.Second)); got != 2*time.Second {
+		t.Fatalf("server-stamped elapsed = %v, want 2s", got)
+	}
+	// Unstamped snapshots (old endpoints, saved files): client clock.
+	if got := elapsedBetween(&obs.Snapshot{}, &obs.Snapshot{}, t0, t0.Add(5*time.Second)); got != 5*time.Second {
+		t.Fatalf("fallback elapsed = %v, want 5s", got)
+	}
+	// A regressing or partial stamp (server restart) also falls back.
+	if got := elapsedBetween(cur, prev, t0, t0.Add(3*time.Second)); got != 3*time.Second {
+		t.Fatalf("regressing-stamp elapsed = %v, want 3s", got)
+	}
+	if got := elapsedBetween(nil, cur, time.Time{}, t0); got != 0 {
+		t.Fatalf("first poll elapsed = %v, want 0", got)
 	}
 }
 

@@ -1,0 +1,156 @@
+// Command acpserve runs the ACP session server: a live
+// runtime.Cluster fronted by the TCP/JSON-line session protocol
+// (internal/server), with the observability plane optionally scraped
+// over HTTP. It is the process boundary for everything the in-process
+// harnesses exercise — load generators (acpload), monitors (acpmon
+// against -serve-obs), and hand-driven netcat sessions all speak to
+// the same admission, quota, and teardown paths.
+//
+// Usage:
+//
+//	acpserve                                   # defaults, port 7433
+//	acpserve -addr 127.0.0.1:0 -seed 7         # ephemeral port (printed)
+//	acpserve -quota gold=8:400:4000:2000 \
+//	         -quota free=2:0:0:0               # per-tenant admission caps
+//	acpserve -serve-obs 127.0.0.1:9090         # /metrics for acpmon
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runtime"
+	"repro/internal/server"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		<-stop
+		close(done)
+	}()
+	if err := run(os.Args[1:], os.Stdout, done); err != nil {
+		fmt.Fprintln(os.Stderr, "acpserve:", err)
+		os.Exit(1)
+	}
+}
+
+// quotaFlag collects repeated -quota tenant=sessions:cpu:mem:bw
+// entries (0 = unlimited on that axis).
+type quotaFlag struct {
+	tenants []string
+	quotas  []runtime.TenantQuota
+}
+
+func (q *quotaFlag) String() string { return strings.Join(q.tenants, ",") }
+
+func (q *quotaFlag) Set(v string) error {
+	tenant, spec, ok := strings.Cut(v, "=")
+	if !ok || tenant == "" {
+		return fmt.Errorf("want tenant=sessions:cpu:mem:bw, got %q", v)
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 {
+		return fmt.Errorf("want 4 colon-separated limits, got %d in %q", len(parts), v)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil || f < 0 {
+			return fmt.Errorf("bad limit %q in %q", p, v)
+		}
+		vals[i] = f
+	}
+	q.tenants = append(q.tenants, tenant)
+	q.quotas = append(q.quotas, runtime.TenantQuota{
+		MaxSessions:      int(vals[0]),
+		MaxCPU:           vals[1],
+		MaxMemory:        vals[2],
+		MaxBandwidthKbps: vals[3],
+	})
+	return nil
+}
+
+func run(args []string, stdout io.Writer, done <-chan struct{}) error {
+	fs := flag.NewFlagSet("acpserve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:7433", "session protocol listen address")
+		seed        = fs.Int64("seed", 1, "cluster topology/placement seed")
+		nodes       = fs.Int("nodes", 64, "overlay (stream processing) nodes")
+		ipnodes     = fs.Int("ipnodes", 512, "underlying IP network nodes")
+		functions   = fs.Int("functions", 16, "atomic function catalogue size")
+		perNode     = fs.Int("components-per-node", 2, "components deployed per node")
+		probing     = fs.Float64("probing", 0.5, "composition probing ratio")
+		commitTO    = fs.Duration("commit-timeout", 10*time.Second, "pending session commit deadline")
+		heartbeatTO = fs.Duration("heartbeat-timeout", 30*time.Second, "committed session heartbeat deadline")
+		reapEvery   = fs.Duration("reap-interval", time.Second, "expired-session scan period")
+		maxSessions = fs.Int("max-sessions", 0, "live wire session cap (0 = unlimited)")
+		maxInflight = fs.Int("max-inflight", 32, "concurrent compose dispatch cap")
+		obsAddr     = fs.String("serve-obs", "", "also serve the observability plane here (e.g. 127.0.0.1:9090)")
+	)
+	var quotas quotaFlag
+	fs.Var(&quotas, "quota", "tenant=sessions:cpu:mem:bw admission quota (repeatable, 0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	reg := obs.NewRegistry()
+	ccfg := runtime.DefaultConfig()
+	ccfg.Seed = *seed
+	ccfg.OverlayNodes = *nodes
+	ccfg.IPNodes = *ipnodes
+	ccfg.NumFunctions = *functions
+	ccfg.ComponentsPerNode = *perNode
+	ccfg.ProbingRatio = *probing
+	ccfg.Registry = reg
+	cluster, err := runtime.NewCluster(ccfg)
+	if err != nil {
+		return err
+	}
+	defer cluster.Shutdown()
+	for i, tenant := range quotas.tenants {
+		cluster.SetTenantQuota(tenant, quotas.quotas[i])
+	}
+
+	srv, err := server.Listen(*addr, server.Config{
+		Cluster:          cluster,
+		CommitTimeout:    *commitTO,
+		HeartbeatTimeout: *heartbeatTO,
+		ReapInterval:     *reapEvery,
+		MaxSessions:      *maxSessions,
+		MaxInflight:      *maxInflight,
+		Registry:         reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(stdout, "acpserve: listening on %s (seed %d, %d nodes, %d functions)\n",
+		srv.Addr(), *seed, *nodes, *functions)
+
+	if *obsAddr != "" {
+		osrv, err := obs.Serve(*obsAddr, obs.ServeConfig{Registry: reg})
+		if err != nil {
+			return err
+		}
+		defer osrv.Close()
+		fmt.Fprintf(stdout, "acpserve: observability on %s\n", osrv.URL())
+	}
+
+	<-done
+	fmt.Fprintln(stdout, "acpserve: shutting down")
+	return nil
+}

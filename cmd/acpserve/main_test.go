@@ -1,0 +1,153 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// syncBuffer is a goroutine-safe stdout sink run() writes to while the
+// test polls for the listening line.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startServe boots run() on an ephemeral port and returns the bound
+// address plus a shutdown func that asserts a clean exit.
+func startServe(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	out := &syncBuffer{}
+	done := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), out, done)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return m[1], func() {
+				close(done)
+				if err := <-errc; err != nil {
+					t.Fatalf("acpserve exited with %v", err)
+				}
+				if !strings.Contains(out.String(), "shutting down") {
+					t.Fatalf("missing shutdown line:\n%s", out.String())
+				}
+			}
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("acpserve exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listening line:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServeSessionLifecycle(t *testing.T) {
+	addr, shutdown := startServe(t, "-seed", "3", "-nodes", "24", "-ipnodes", "128", "-functions", "8")
+	defer shutdown()
+
+	cl, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if r, err := cl.Hello("t0"); err != nil || !r.OK {
+		t.Fatalf("hello = %+v, %v", r, err)
+	}
+	resp, err := cl.Compose(server.Request{
+		Functions: []int{1, 2}, CPU: 4, MemoryMB: 40,
+		Delay: 1e5, LossProb: 0.9, BandwidthKbps: 30,
+	})
+	if err != nil || !resp.OK {
+		t.Fatalf("compose = %+v, %v", resp, err)
+	}
+	if cm, err := cl.Commit(resp.Session); err != nil || !cm.OK {
+		t.Fatalf("commit = %+v, %v", cm, err)
+	}
+	if td, err := cl.Teardown(resp.Session); err != nil || !td.OK {
+		t.Fatalf("teardown = %+v, %v", td, err)
+	}
+}
+
+func TestServeEnforcesQuotaFlag(t *testing.T) {
+	addr, shutdown := startServe(t,
+		"-seed", "3", "-nodes", "24", "-ipnodes", "128", "-functions", "8",
+		"-quota", "free=1:0:0:0")
+	defer shutdown()
+
+	cl, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if r, err := cl.Hello("free"); err != nil || !r.OK {
+		t.Fatalf("hello = %+v, %v", r, err)
+	}
+	req := server.Request{
+		Functions: []int{1, 2}, CPU: 4, MemoryMB: 40,
+		Delay: 1e5, LossProb: 0.9, BandwidthKbps: 30,
+	}
+	first, err := cl.Compose(req)
+	if err != nil || !first.OK {
+		t.Fatalf("first compose = %+v, %v", first, err)
+	}
+	second, err := cl.Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.OK || second.Code != server.CodeQuota || second.Dimension != "sessions" {
+		t.Fatalf("over-quota compose = %+v, want code %q dimension sessions", second, server.CodeQuota)
+	}
+}
+
+func TestQuotaFlagParsing(t *testing.T) {
+	var q quotaFlag
+	if err := q.Set("gold=8:400:4000:2000"); err != nil {
+		t.Fatal(err)
+	}
+	if q.tenants[0] != "gold" || q.quotas[0].MaxSessions != 8 || q.quotas[0].MaxCPU != 400 ||
+		q.quotas[0].MaxMemory != 4000 || q.quotas[0].MaxBandwidthKbps != 2000 {
+		t.Fatalf("parsed quota = %v %+v", q.tenants, q.quotas)
+	}
+	for _, bad := range []string{"", "gold", "gold=1:2:3", "gold=1:2:3:4:5", "=1:2:3:4", "gold=a:2:3:4", "gold=-1:2:3:4"} {
+		if err := q.Set(bad); err == nil {
+			t.Errorf("quota %q accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	out := &syncBuffer{}
+	done := make(chan struct{})
+	close(done)
+	if err := run([]string{"extra"}, out, done); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+	if err := run([]string{"-quota", "notaquota"}, out, done); err == nil {
+		t.Fatal("malformed -quota accepted")
+	}
+}

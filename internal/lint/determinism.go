@@ -11,13 +11,19 @@ import (
 // analyzer applies to. The golden parity test and the harness oracle
 // assume these packages are bit-reproducible under a fixed seed, so wall
 // clocks, the global math/rand state, and map-iteration-order leaks are
-// correctness bugs there, not style. Tests may extend this to cover
-// fixture packages.
+// correctness bugs there, not style. runtime, workload, and metrics are
+// in scope because the multi-app harness replays them through its
+// replica oracle and the scenario-family plans promise bit-identical
+// materialisation per seed; runtime already injects rand/clock and must
+// stay that way. Tests may extend this to cover fixture packages.
 var DeterminismScope = []string{
 	"internal/core",
 	"internal/dist",
 	"internal/harness",
 	"internal/faults",
+	"internal/runtime",
+	"internal/workload",
+	"internal/metrics",
 }
 
 // Determinism reports nondeterminism sources in the deterministic

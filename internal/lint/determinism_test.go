@@ -14,6 +14,33 @@ func TestDeterminism(t *testing.T) {
 	linttest.Run(t, "testdata/src/determinism", lint.Determinism)
 }
 
+// TestDeterminismScopeCoversReplayedPackages pins the packages the
+// harness oracles replay bit-identically into the analyzer's scope.
+// runtime (quota admission + adaptation), workload (scenario-family
+// plans), and metrics (Jain aggregation) joined core/dist/harness/faults
+// when the multi-app suite started shadowing them; dropping one from
+// scope would let wall-clock or map-order leaks back into replayed code.
+func TestDeterminismScopeCoversReplayedPackages(t *testing.T) {
+	want := []string{
+		"internal/core",
+		"internal/dist",
+		"internal/harness",
+		"internal/faults",
+		"internal/runtime",
+		"internal/workload",
+		"internal/metrics",
+	}
+	in := make(map[string]bool, len(lint.DeterminismScope))
+	for _, p := range lint.DeterminismScope {
+		in[p] = true
+	}
+	for _, p := range want {
+		if !in[p] {
+			t.Errorf("DeterminismScope is missing %q", p)
+		}
+	}
+}
+
 // TestDeterminismScope checks the fixture is ignored when its path is
 // not in scope: the analyzer must not fire outside the deterministic
 // packages.

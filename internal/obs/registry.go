@@ -428,6 +428,14 @@ type HistogramSnapshot struct {
 // updates during the copy yield per-instrument (not cross-instrument)
 // consistency, which is what monitoring needs.
 type Snapshot struct {
+	// AtUnixNanos is the scrape instant on the serving process's clock,
+	// stamped by the /metrics.json handler (zero when the snapshot was
+	// taken directly from a Registry). Consumers computing counter rates
+	// must difference this server-reported timestamp between scrapes
+	// rather than their own poll clock: a slow or jittery poll otherwise
+	// distorts every rate it renders.
+	AtUnixNanos int64 `json:"atUnixNanos,omitempty"`
+
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`

@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+
+	"repro/internal/harness/clock"
 )
 
 // The HTTP scrape surface. Handler builds a mux exposing a registry
@@ -33,6 +35,10 @@ type ServeConfig struct {
 	Tracer *Tracer
 	// TraceBuffer is each /trace client's ring capacity (default 1024).
 	TraceBuffer int
+	// Clock stamps /metrics.json snapshots with the scrape instant so
+	// pollers (acpmon) difference server-reported elapsed rather than
+	// their own jittery poll clock. nil means the wall clock.
+	Clock clock.Clock
 }
 
 // Handler returns the observability mux for cfg.
@@ -47,11 +53,14 @@ func Handler(cfg ServeConfig) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WritePrometheus(w, cfg.Registry.Snapshot())
 	})
+	clk := clock.Or(cfg.Clock)
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(cfg.Registry.Snapshot())
+		s := cfg.Registry.Snapshot()
+		s.AtUnixNanos = clk.Now().UnixNano()
+		_ = enc.Encode(s)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -99,6 +108,11 @@ func traceHandler(t *Tracer, bufCap int) http.HandlerFunc {
 				}
 				if fl != nil {
 					fl.Flush()
+				}
+				// A subscription closed from the tracer side stops
+				// filling its ring; linger no further once it is drained.
+				if sub.Closed() {
+					return
 				}
 			}
 		}

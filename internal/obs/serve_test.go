@@ -70,6 +70,9 @@ func TestServeMetricsEndpoints(t *testing.T) {
 	if s.Counters["core.probes.sent"] != 12 {
 		t.Errorf("snapshot counters = %+v", s.Counters)
 	}
+	if s.AtUnixNanos == 0 {
+		t.Error("/metrics.json snapshot missing server scrape timestamp")
+	}
 
 	code, body, _ = get(t, srv.URL()+"/healthz")
 	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
@@ -136,6 +139,57 @@ func TestServeTraceStream(t *testing.T) {
 	}
 	if ev.Type != EventCommitted || ev.Req != 42 {
 		t.Fatalf("trace event = %+v", ev)
+	}
+}
+
+// TestServeTraceUnsubscribesOnDisconnect is the /trace leak gate: every
+// client connect/disconnect cycle must drop the tracer's live
+// subscription count back to zero — and with it Enabled() for a
+// sink-less tracer, so the engine's emit path returns to its two-atomic-
+// load disabled cost. A leaked subscription would buffer (and drop)
+// events forever on behalf of a client that is long gone.
+func TestServeTraceUnsubscribesOnDisconnect(t *testing.T) {
+	srv, _, tr := serveFixture(t)
+
+	if tr.Enabled() {
+		t.Fatal("sink-less tracer reports enabled before any subscriber")
+	}
+	const cycles = 8
+	for i := 0; i < cycles; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL()+"/trace", nil)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		// Wait for the handler's subscription to attach, emit one event
+		// through it, then disconnect abruptly (context cancel closes the
+		// client side mid-stream).
+		deadline := time.Now().Add(5 * time.Second)
+		for tr.Subscribers() == 0 {
+			if time.Now().After(deadline) {
+				cancel()
+				t.Fatalf("cycle %d: handler never subscribed", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		tr.Committed(int64(i), 0)
+		cancel()
+		resp.Body.Close()
+		for tr.Subscribers() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("cycle %d: %d subscriptions still live after disconnect", i, tr.Subscribers())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if tr.Enabled() {
+		t.Fatalf("sink-less tracer still enabled after %d disconnect cycles", cycles)
 	}
 }
 

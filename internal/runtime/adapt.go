@@ -3,6 +3,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -169,9 +170,14 @@ func (a *AdaptController) Stop() {
 	a.stopped = true
 	t := a.timer
 	a.timer = nil
-	pending := make([]*retryState, 0, len(a.retries))
-	for id, rs := range a.retries {
-		pending = append(pending, rs)
+	ids := make([]SessionID, 0, len(a.retries))
+	for id := range a.retries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	pending := make([]*retryState, 0, len(ids))
+	for _, id := range ids {
+		pending = append(pending, a.retries[id])
 		delete(a.retries, id)
 	}
 	a.mu.Unlock()
