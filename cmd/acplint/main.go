@@ -6,6 +6,10 @@
 // Standalone, over package patterns:
 //
 //	go run ./cmd/acplint ./...
+//	go run ./cmd/acplint -json ./...
+//
+// With -json, findings are printed to stdout as a JSON array of
+// {file, line, column, analyzer, message} records for CI annotators.
 //
 // As a vet tool, speaking the unitchecker vet.cfg protocol:
 //
@@ -57,7 +61,16 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		return runVet(args[0], stderr)
 	}
-	return runStandalone(dir, args, stdout, stderr)
+	asJSON := false
+	patterns := make([]string, 0, len(args))
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			asJSON = true
+			continue
+		}
+		patterns = append(patterns, a)
+	}
+	return runStandalone(dir, patterns, asJSON, stdout, stderr)
 }
 
 // printVersion mirrors x/tools' unitchecker: the go command fingerprints
@@ -156,7 +169,17 @@ func runVet(cfgFile string, stderr io.Writer) int {
 	return exitClean
 }
 
-func runStandalone(dir string, patterns []string, stdout, stderr io.Writer) int {
+// jsonDiagnostic is one -json output record: a stable machine-readable
+// shape for CI annotators and editor integrations.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func runStandalone(dir string, patterns []string, asJSON bool, stdout, stderr io.Writer) int {
 	pkgs, err := lint.Load(dir, patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -168,9 +191,13 @@ func runStandalone(dir string, patterns []string, stdout, stderr io.Writer) int 
 		return exitError
 	}
 	if len(pkgs) == 0 {
+		if asJSON {
+			fmt.Fprintln(stdout, "[]")
+		}
 		return exitClean
 	}
 	base, _ := filepath.Abs(dir)
+	records := make([]jsonDiagnostic, 0, len(diags))
 	for _, d := range diags {
 		pos := pkgs[0].Fset.Position(d.Pos)
 		name := pos.Filename
@@ -179,7 +206,22 @@ func runStandalone(dir string, patterns []string, stdout, stderr io.Writer) int 
 				name = rel
 			}
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+		records = append(records, jsonDiagnostic{
+			File: name, Line: pos.Line, Column: pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitError
+		}
+	} else {
+		for _, r := range records {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", r.File, r.Line, r.Column, r.Analyzer, r.Message)
+		}
 	}
 	if len(diags) > 0 {
 		return exitDiagnostics

@@ -2,12 +2,27 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
+
+// fixmodWant is one expected diagnostic per analyzer: the fixture
+// module deliberately violates each of the seven invariants exactly
+// once, so the full suite is exercised end to end.
+var fixmodWant = []struct{ analyzer, fragment string }{
+	{"acpdeterminism", "time.Now reads the wall clock"},
+	{"acphotpath", "append to non-scratch destination out"},
+	{"acpholdpair", "failure return may leak the hold created by HoldNode"},
+	{"acpguarded", "count is guarded by mu"},
+	{"acplockorder", "lock order inversion: pair.a is acquired while holding pair.b"},
+	{"acpgoroutine", "goroutine is not tied to a shutdown path"},
+	{"acpatomic", "stats.ops is accessed with sync/atomic elsewhere but read plainly"},
+}
 
 // TestFixtureModuleFindings runs the multichecker standalone over the
 // deliberately broken fixture module and asserts on the exit status and
@@ -19,18 +34,66 @@ func TestFixtureModuleFindings(t *testing.T) {
 		t.Fatalf("exit = %d, want %d (stdout %q, stderr %q)", code, exitDiagnostics, out.String(), errb.String())
 	}
 	got := out.String()
-	for _, want := range []string{
-		"time.Now reads the wall clock",
-		"append to non-scratch destination out",
-		"[acpdeterminism]",
-		"[acphotpath]",
-	} {
-		if !strings.Contains(got, want) {
-			t.Errorf("stdout missing %q:\n%s", want, got)
+	for _, want := range fixmodWant {
+		if !strings.Contains(got, "["+want.analyzer+"]") {
+			t.Errorf("stdout missing a [%s] diagnostic:\n%s", want.analyzer, got)
+		}
+		if !strings.Contains(got, want.fragment) {
+			t.Errorf("stdout missing %q:\n%s", want.fragment, got)
 		}
 	}
-	if n := strings.Count(got, "\n"); n != 2 {
-		t.Errorf("want exactly 2 diagnostics, got %d:\n%s", n, got)
+	if n := strings.Count(got, "\n"); n != len(fixmodWant) {
+		t.Errorf("want exactly %d diagnostics, got %d:\n%s", len(fixmodWant), n, got)
+	}
+}
+
+// TestJSONOutput runs -json over the fixture module and round-trips the
+// records through encoding/json: every record carries file, line,
+// analyzer, and message, and re-encoding reproduces the same records.
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run("testdata/fixmod", []string{"-json", "./..."}, &out, &errb)
+	if code != exitDiagnostics {
+		t.Fatalf("exit = %d, want %d (stderr %q)", code, exitDiagnostics, errb.String())
+	}
+	var records []jsonDiagnostic
+	if err := json.Unmarshal(out.Bytes(), &records); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(records) != len(fixmodWant) {
+		t.Fatalf("want %d records, got %d: %+v", len(fixmodWant), len(records), records)
+	}
+	byAnalyzer := map[string]jsonDiagnostic{}
+	for _, r := range records {
+		if r.File == "" || r.Line <= 0 || r.Column <= 0 || r.Analyzer == "" || r.Message == "" {
+			t.Errorf("incomplete record: %+v", r)
+		}
+		if filepath.IsAbs(r.File) {
+			t.Errorf("file should be relative to the scanned dir: %q", r.File)
+		}
+		byAnalyzer[r.Analyzer] = r
+	}
+	for _, want := range fixmodWant {
+		r, ok := byAnalyzer[want.analyzer]
+		if !ok {
+			t.Errorf("no record from %s", want.analyzer)
+			continue
+		}
+		if !strings.Contains(r.Message, want.fragment) {
+			t.Errorf("%s record message %q missing %q", want.analyzer, r.Message, want.fragment)
+		}
+	}
+	// Round trip: marshal the decoded records and decode again.
+	re, err := json.Marshal(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again []jsonDiagnostic
+	if err := json.Unmarshal(re, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(records, again) {
+		t.Errorf("round trip changed the records:\n%+v\n%+v", records, again)
 	}
 }
 
@@ -90,9 +153,9 @@ func TestVetTool(t *testing.T) {
 		t.Fatalf("go vet did not run: %v\n%s", err, outb)
 	}
 	got := string(outb)
-	for _, want := range []string{"time.Now reads the wall clock", "append to non-scratch destination out"} {
-		if !strings.Contains(got, want) {
-			t.Errorf("vet output missing %q:\n%s", want, got)
+	for _, want := range fixmodWant {
+		if !strings.Contains(got, want.fragment) {
+			t.Errorf("vet output missing %q (from %s):\n%s", want.fragment, want.analyzer, got)
 		}
 	}
 	// go vet analyzes test packages too; the determinism analyzer must
@@ -126,5 +189,18 @@ func writeFile(t *testing.T, path, content string) {
 	}
 	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BenchmarkAcplintRepo measures the analyzer suite's wall time over the
+// entire repository — the cost every CI run pays for the lint gate.
+// Loading (parse + type-check) dominates; the analyzers themselves are
+// single-pass over the ASTs.
+func BenchmarkAcplintRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var out, errb bytes.Buffer
+		if code := run("../..", []string{"./..."}, &out, &errb); code != exitClean {
+			b.Fatalf("acplint over the repo: exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+		}
 	}
 }

@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+)
+
+// ledger mirrors the transient-resource ledger's Hold*/Release* surface;
+// the holdpair analyzer matches by method name.
+type ledger struct{}
+
+func (l *ledger) HoldNode(owner int64, node int) bool { return true }
+
+func (l *ledger) ReleaseNodeHold(owner int64, node int) {}
+
+// Reserve leaks the hold on a when the hold on b fails.
+func Reserve(l *ledger, a, b int) error {
+	if !l.HoldNode(1, a) {
+		return errors.New("contended")
+	}
+	if !l.HoldNode(1, b) {
+		return errors.New("contended")
+	}
+	l.ReleaseNodeHold(1, a)
+	l.ReleaseNodeHold(1, b)
+	return nil
+}
+
+// registry reads a documented guarded field without holding its mutex.
+type registry struct {
+	mu sync.Mutex
+	// count is guarded by mu.
+	count int
+}
+
+func (r *registry) peek() int {
+	return r.count
+}

@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	acp "repro"
 )
@@ -81,7 +82,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var feeders sync.WaitGroup
+	feeders.Add(1)
 	go func() {
+		defer feeders.Done()
 		for i := 1; i <= 10; i++ {
 			in <- acp.DataUnit{Seq: int64(i), Payload: i}
 		}
@@ -90,6 +94,7 @@ func run() error {
 	for u := range out {
 		fmt.Printf("  unit %d -> running total %v\n", u.Seq, u.Payload)
 	}
+	feeders.Wait()
 
 	// 5. Close tears the session down and frees its resources.
 	return cluster.Close(session)

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"sync"
 
 	acp "repro"
 )
@@ -114,7 +115,10 @@ func run() error {
 		{Symbol: "OTHR", Price: 6},
 		{Symbol: "ACME", Price: 101},
 	}
+	var feeders sync.WaitGroup
+	feeders.Add(1)
 	go func() {
+		defer feeders.Done()
 		for i, t := range feed {
 			in <- acp.DataUnit{Seq: int64(i), Payload: t}
 		}
@@ -128,5 +132,6 @@ func run() error {
 		}
 		fmt.Printf("  %s %s %.0f (avg %.1f)\n", marker, t.Symbol, t.Price, t.Avg)
 	}
+	feeders.Wait()
 	return cluster.Close(session)
 }

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	acp "repro"
 )
@@ -114,7 +115,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var feeders sync.WaitGroup
+	feeders.Add(1)
 	go func() {
+		defer feeders.Done()
 		for i := 0; i < 30; i++ {
 			in <- acp.DataUnit{Seq: int64(i), Payload: frame{Camera: 1, Luma: i}}
 		}
@@ -125,6 +129,7 @@ func run() error {
 		f := u.Payload.(frame)
 		alarms[f.Verdict]++
 	}
+	feeders.Wait()
 	fmt.Printf("  alarms: %d face, %d motion\n", alarms["face"], alarms["motion"])
 	return cluster.Close(session)
 }

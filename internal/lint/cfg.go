@@ -1,0 +1,269 @@
+package lint
+
+// cfg.go is the shared intraprocedural flow layer used by the
+// flow-sensitive analyzers (acpholdpair, acplockorder, acpgoroutine).
+//
+// buildCFG lowers a function body to a control-flow graph of basic
+// blocks holding the statements and branch-condition expressions in
+// evaluation order. The graph is deliberately *acyclic*: a loop body is
+// represented once, with the after-loop block fed from the body-end
+// state rather than from a fixpoint over back edges. That encodes the
+// repo's pinned loop policy (see HoldPair's doc comment): a loop body
+// is analysed once per entry state, holds or locks that survive a full
+// iteration are considered settled, and the zero-iteration path is
+// deliberately dropped — the release-loop idiom iterates exactly the
+// resources that were created, so "ran zero times" coincides with
+// "nothing to release". Because every edge points forward (to a
+// higher-indexed block, by construction), runFlow analyses the whole
+// function in a single pass over the blocks in index order — no
+// worklist, no widening.
+//
+// break, continue, goto, and fallthrough are recorded as ordinary
+// nodes that fall through to the next statement. This matches the
+// historical walker the analyzers were validated against: the join at
+// the loop (or switch) exit over-approximates the abandoned path, and
+// analyzers that care about the abandon itself (holdpair's continue
+// check) observe it through the onBranch hook.
+
+import (
+	"go/ast"
+)
+
+// cfgEdge is one successor edge. When cond is non-nil the edge is taken
+// only if cond evaluates to val, and flow drivers may refine the state
+// accordingly (e.g. an if statement's then/else edges).
+type cfgEdge struct {
+	to   *cfgBlock
+	cond ast.Expr
+	val  bool
+}
+
+// cfgBlock is a straight-line run of AST nodes (statements and
+// branch-condition expressions) in evaluation order.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node
+	succs []cfgEdge
+}
+
+// funcCFG is the control-flow graph of one function body. blocks[0] is
+// the entry; blocks are topologically ordered (every edge goes from a
+// lower index to a higher one).
+type funcCFG struct {
+	blocks []*cfgBlock
+}
+
+type cfgBuilder struct {
+	g   *funcCFG
+	cur *cfgBlock
+}
+
+// buildCFG lowers body (a FuncDecl or FuncLit body) to its CFG.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{g: &funcCFG{}}
+	b.cur = b.newBlock()
+	b.stmt(body)
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock, cond ast.Expr, val bool) {
+	from.succs = append(from.succs, cfgEdge{to: to, cond: cond, val: val})
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		then := b.newBlock()
+		b.edge(head, then, s.Cond, true)
+		b.cur = then
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(head, els, s.Cond, false)
+			b.cur = els
+			b.stmt(s.Else)
+			elseEnd := b.cur
+			join := b.newBlock()
+			b.edge(thenEnd, join, nil, false)
+			b.edge(elseEnd, join, nil, false)
+			b.cur = join
+		} else {
+			join := b.newBlock()
+			b.edge(head, join, s.Cond, false)
+			b.edge(thenEnd, join, nil, false)
+			b.cur = join
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond) // no refinement on loop conditions: the body may run 0..n times
+		head := b.cur
+		body := b.newBlock()
+		b.edge(head, body, nil, false)
+		b.cur = body
+		b.stmt(s.Body)
+		if s.Post != nil {
+			b.add(s.Post)
+		}
+		bodyEnd := b.cur
+		after := b.newBlock()
+		b.edge(bodyEnd, after, nil, false)
+		b.cur = after
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.cur
+		body := b.newBlock()
+		b.edge(head, body, nil, false)
+		b.cur = body
+		b.stmt(s.Body)
+		bodyEnd := b.cur
+		after := b.newBlock()
+		b.edge(bodyEnd, after, nil, false)
+		b.cur = after
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Tag)
+		b.caseBodies(s.Body, nil)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.caseBodies(s.Body, s.Assign)
+	case *ast.SelectStmt:
+		b.caseBodies(s.Body, nil)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = b.newBlock() // code after a return is unreachable
+	default:
+		// ExprStmt, AssignStmt, DeclStmt, DeferStmt, GoStmt, SendStmt,
+		// IncDecStmt, BranchStmt, EmptyStmt: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// caseBodies lowers a switch/type-switch/select body: every clause is
+// entered from the head, and the join after the statement merges every
+// clause end plus the head itself (no case may match; for select, the
+// head edge over-approximates "blocks forever").
+func (b *cfgBuilder) caseBodies(body *ast.BlockStmt, prologue ast.Stmt) {
+	if prologue != nil {
+		b.add(prologue)
+	}
+	head := b.cur
+	var ends []*cfgBlock
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		var comm ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+		case *ast.CommClause:
+			comm = cl.Comm
+			stmts = cl.Body
+		}
+		cb := b.newBlock()
+		b.edge(head, cb, nil, false)
+		b.cur = cb
+		if comm != nil {
+			b.stmt(comm)
+		}
+		for _, st := range stmts {
+			b.stmt(st)
+		}
+		ends = append(ends, b.cur)
+	}
+	join := b.newBlock()
+	b.edge(head, join, nil, false)
+	for _, e := range ends {
+		b.edge(e, join, nil, false)
+	}
+	b.cur = join
+}
+
+// flowHooks parameterizes runFlow with one analyzer's abstract domain.
+// All hooks except clone, join, and transfer are optional.
+type flowHooks[S any] struct {
+	// clone copies a state so that branches evolve independently.
+	clone func(S) S
+	// join merges src into dst at a control-flow merge and returns the
+	// merged state (it may mutate and return dst).
+	join func(dst, src S) S
+	// transfer interprets one node (a statement or a branch-condition
+	// expression), mutating the state in place.
+	transfer func(n ast.Node, s S)
+	// refine narrows a state along a conditional edge, assuming cond
+	// evaluated to val.
+	refine func(cond ast.Expr, val bool, s S)
+	// onReturn runs after transfer at every return statement.
+	onReturn func(ret *ast.ReturnStmt, s S)
+	// onBranch runs at every break/continue/goto/fallthrough, before the
+	// state falls through to the next statement.
+	onBranch func(br *ast.BranchStmt, s S)
+}
+
+// runFlow runs a forward dataflow analysis over g starting from entry.
+// Because the CFG is acyclic and topologically ordered, one pass in
+// index order reaches the fixed point.
+func runFlow[S any](g *funcCFG, entry S, h flowHooks[S]) {
+	in := make([]S, len(g.blocks))
+	reached := make([]bool, len(g.blocks))
+	in[0], reached[0] = entry, true
+	for _, blk := range g.blocks {
+		if !reached[blk.index] {
+			continue
+		}
+		s := in[blk.index]
+		for _, n := range blk.nodes {
+			h.transfer(n, s)
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				if h.onReturn != nil {
+					h.onReturn(n, s)
+				}
+			case *ast.BranchStmt:
+				if h.onBranch != nil {
+					h.onBranch(n, s)
+				}
+			}
+		}
+		for _, e := range blk.succs {
+			out := h.clone(s)
+			if e.cond != nil && h.refine != nil {
+				h.refine(e.cond, e.val, out)
+			}
+			if !reached[e.to.index] {
+				in[e.to.index], reached[e.to.index] = out, true
+			} else {
+				in[e.to.index] = h.join(in[e.to.index], out)
+			}
+		}
+	}
+}

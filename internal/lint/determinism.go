@@ -15,7 +15,10 @@ import (
 // in scope because the multi-app harness replays them through its
 // replica oracle and the scenario-family plans promise bit-identical
 // materialisation per seed; runtime already injects rand/clock and must
-// stay that way. Tests may extend this to cover fixture packages.
+// stay that way. server and obs promise virtual-clock determinism too:
+// the lease reaper and the QoS DriftMonitor both tick on the injected
+// harness clock, so a stray wall-clock read there would desynchronize
+// replayed sessions. Tests may extend this to cover fixture packages.
 var DeterminismScope = []string{
 	"internal/core",
 	"internal/dist",
@@ -24,6 +27,8 @@ var DeterminismScope = []string{
 	"internal/runtime",
 	"internal/workload",
 	"internal/metrics",
+	"internal/server",
+	"internal/obs",
 }
 
 // Determinism reports nondeterminism sources in the deterministic
@@ -253,8 +258,11 @@ func checkRangeAssign(pass *Pass, file *ast.File, rng *ast.RangeStmt, rangeVars 
 }
 
 // checkRangeEmit flags trace-event emission in map-iteration order:
-// calls to methods on an obs tracer (package path ending in /obs, or a
-// receiver type named Tracer).
+// calls to methods on a receiver type named Tracer. Only the tracer
+// serialises events; other obs types (counters, gauges, snapshot
+// readers) commute or write into keyed maps, so calling them under a
+// map range is order-independent — obs itself is in scope and its
+// Registry.Snapshot loops must stay clean without waivers.
 func checkRangeEmit(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
@@ -276,9 +284,7 @@ func checkRangeEmit(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
 	if !ok {
 		return
 	}
-	fromObs := named.Obj().Pkg() != nil &&
-		(named.Obj().Pkg().Path() == "repro/internal/obs" || named.Obj().Name() == "Tracer")
-	if !fromObs {
+	if named.Obj().Name() != "Tracer" {
 		return
 	}
 	if pass.waived(call.Pos(), ndWaiver) {

@@ -20,6 +20,8 @@ func TestDeterminism(t *testing.T) {
 // plans), and metrics (Jain aggregation) joined core/dist/harness/faults
 // when the multi-app suite started shadowing them; dropping one from
 // scope would let wall-clock or map-order leaks back into replayed code.
+// server (lease reaper) and obs (DriftMonitor) joined when they adopted
+// the injected harness clock: both promise virtual-clock determinism.
 func TestDeterminismScopeCoversReplayedPackages(t *testing.T) {
 	want := []string{
 		"internal/core",
@@ -29,6 +31,8 @@ func TestDeterminismScopeCoversReplayedPackages(t *testing.T) {
 		"internal/runtime",
 		"internal/workload",
 		"internal/metrics",
+		"internal/server",
+		"internal/obs",
 	}
 	in := make(map[string]bool, len(lint.DeterminismScope))
 	for _, p := range lint.DeterminismScope {

@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Goroutine requires every `go` statement in non-test code to be tied
+// to a shutdown path. A goroutine nobody can join or stop outlives its
+// owner: it races teardown for shared state (the exact shape of the
+// PR 9 /trace unsubscribe leak), keeps connections and file
+// descriptors pinned, and makes "the server exited cleanly" untestable.
+//
+// A spawn is accepted when the goroutine's work — its literal body, or
+// the transitive call summary (summary.go) of the named function it
+// runs — is bounded by any of:
+//
+//  1. a WaitGroup: the body (or a callee) calls Done on a WaitGroup
+//     that the spawning function Adds to before the `go` statement;
+//  2. a channel: the body receives (<-ch, select with a receive, or
+//     range over a channel), so closing the channel or a send releases
+//     it;
+//  3. a join: the body calls WaitGroup.Wait, i.e. it is itself a
+//     closer/drainer that exits when the tracked workers do;
+//  4. an owned server loop: the body is a single call on a value whose
+//     type has a Close/Stop/Shutdown method (http.Server.Serve,
+//     net.Listener accept loops) — stopping the owner unblocks it.
+//
+// Everything else is flagged at the `go` statement. Waive deliberate
+// fire-and-forget with //acp:goroutine-ok <why>.
+var Goroutine = &Analyzer{
+	Name: "acpgoroutine",
+	Doc: "require every goroutine to be joinable or stoppable: WaitGroup add/done, " +
+		"done-channel receive, or a Close/Stop-bounded call (waive with //acp:goroutine-ok <why>)",
+	Run: runGoroutine,
+}
+
+const goroutineWaiver = "goroutine-ok"
+
+type goFactKind int
+
+const (
+	factChanBlock goFactKind = iota // receives from a channel (select/range included)
+	factWgDone                      // calls Done on the WaitGroup class in obj
+	factWgWait                      // calls Wait on a WaitGroup
+)
+
+type goFact struct {
+	kind goFactKind
+	obj  types.Object
+}
+
+type goroutineChecker struct {
+	pass    *Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	summary func(*types.Func) map[goFact]bool
+}
+
+func runGoroutine(pass *Pass) error {
+	decls := declaredFuncs(pass)
+	gc := &goroutineChecker{pass: pass, decls: decls}
+	gc.summary = callSummaries(pass, decls, func(fd *ast.FuncDecl) []goFact {
+		return directGoFacts(pass, fd.Body)
+	})
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				gc.checkSpawn(file, g)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (gc *goroutineChecker) checkSpawn(file *ast.File, g *ast.GoStmt) {
+	facts := gc.spawnFacts(g)
+	var dones []types.Object
+	for f := range facts {
+		switch f.kind {
+		case factChanBlock, factWgWait:
+			return // bounded by a channel or by joining tracked workers
+		case factWgDone:
+			dones = append(dones, f.obj)
+		}
+	}
+	fd := enclosingFuncDecl(file, g.Pos())
+	for _, w := range dones {
+		if fd != nil && addsBefore(gc.pass, fd, w, g.Pos()) {
+			return
+		}
+	}
+	if closeBoundedCall(gc.pass, g) {
+		return
+	}
+	if gc.pass.waived(g.Pos(), goroutineWaiver) {
+		return
+	}
+	gc.pass.Reportf(g.Pos(),
+		"goroutine is not tied to a shutdown path: track it with a WaitGroup (Add before the spawn, Done inside), "+
+			"block it on a channel receive, or bound it by a Close/Stop-able owner (//acp:goroutine-ok <why> to waive)")
+}
+
+// spawnFacts collects what the spawned work does: the literal body's
+// direct facts plus summaries of same-package functions it calls, or
+// the summary of the named function being spawned.
+func (gc *goroutineChecker) spawnFacts(g *ast.GoStmt) map[goFact]bool {
+	facts := map[goFact]bool{}
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		for _, f := range directGoFacts(gc.pass, lit.Body) {
+			facts[f] = true
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if fn := staticCallee(gc.pass, gc.decls, n); fn != nil {
+					for f := range gc.summary(fn) {
+						facts[f] = true
+					}
+				}
+			}
+			return true
+		})
+		return facts
+	}
+	if fn := staticCallee(gc.pass, gc.decls, g.Call); fn != nil {
+		for f := range gc.summary(fn) {
+			facts[f] = true
+		}
+	}
+	return facts
+}
+
+// directGoFacts scans one function body for lifecycle facts, excluding
+// nested literals and nested spawns (those run on yet another
+// goroutine).
+func directGoFacts(pass *Pass, body *ast.BlockStmt) []goFact {
+	var out []goFact
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				out = append(out, goFact{kind: factChanBlock})
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					out = append(out, goFact{kind: factChanBlock})
+				}
+			}
+		case *ast.CallExpr:
+			recv, name, ok := waitGroupMethod(pass.TypesInfo, n)
+			if !ok {
+				return true
+			}
+			obj, _ := syncRecvClass(pass, recv)
+			if obj == nil {
+				return true
+			}
+			switch name {
+			case "Done":
+				out = append(out, goFact{kind: factWgDone, obj: obj})
+			case "Wait":
+				out = append(out, goFact{kind: factWgWait, obj: obj})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// waitGroupMethod matches sync.WaitGroup Add/Done/Wait calls and
+// returns the receiver expression and method name.
+func waitGroupMethod(info *types.Info, call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	switch fn.Name() {
+	case "Add", "Done", "Wait":
+	default:
+		return nil, "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil, "", false
+	}
+	if named, ok := derefType(recv.Type()).(*types.Named); !ok || named.Obj().Name() != "WaitGroup" {
+		return nil, "", false
+	}
+	return sel.X, fn.Name(), true
+}
+
+// addsBefore reports whether fd calls Add on the WaitGroup class w
+// lexically before pos — the spawner must reserve the worker before it
+// starts, or Wait can pass before the goroutine registers itself.
+func addsBefore(pass *Pass, fd *ast.FuncDecl, w types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		recv, name, ok := waitGroupMethod(pass.TypesInfo, call)
+		if !ok || name != "Add" {
+			return true
+		}
+		if obj, _ := syncRecvClass(pass, recv); obj == w {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// closeBoundedCall reports whether the spawn is a single method call on
+// a value whose type has a Close/Stop/Shutdown method: `go srv.Serve(l)`
+// or `go func() { _ = srv.Serve(l) }()` is released by closing srv.
+func closeBoundedCall(pass *Pass, g *ast.GoStmt) bool {
+	call := g.Call
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if len(lit.Body.List) != 1 {
+			return false
+		}
+		switch st := lit.Body.List[0].(type) {
+		case *ast.ExprStmt:
+			c, ok := ast.Unparen(st.X).(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			call = c
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return false
+			}
+			c, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			call = c
+		default:
+			return false
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	for _, name := range []string{"Close", "Stop", "Shutdown"} {
+		if obj, _, _ := types.LookupFieldOrMethod(t, true, pass.Pkg, name); obj != nil {
+			return true
+		}
+	}
+	return false
+}

@@ -202,9 +202,33 @@ func calleeName(call *ast.CallExpr) string {
 	return ""
 }
 
+// check runs the forward dataflow over the function's CFG (see cfg.go).
+// The abstract domain is *holdState; branch-condition refinement, the
+// failure-return check, and the continue check plug in as hooks.
 func (hc *holdChecker) check() {
-	state := newHoldState()
-	hc.stmt(hc.fd.Body, state)
+	runFlow(buildCFG(hc.fd.Body), newHoldState(), flowHooks[*holdState]{
+		clone: (*holdState).clone,
+		join: func(dst, src *holdState) *holdState {
+			dst.join(src)
+			return dst
+		},
+		transfer: hc.transfer,
+		refine:   hc.refine,
+		onReturn: func(ret *ast.ReturnStmt, state *holdState) {
+			if hc.isFailureReturn(ret) {
+				hc.reportLeaks(ret.Pos(), "failure return", state)
+			}
+		},
+		onBranch: func(br *ast.BranchStmt, state *holdState) {
+			if br.Tok == token.CONTINUE {
+				// Abandoning the current candidate/iteration with holds the
+				// iteration created and never released. Holds that were
+				// created before this loop began (surviving siblings from an
+				// earlier phase) are kept by design and not charged here.
+				hc.reportLeaksWithin(br.Pos(), "continue", state, enclosingLoop(hc.fd, br.Pos()))
+			}
+		},
+	})
 }
 
 // site registers (or returns) the hold site for a call.
@@ -288,19 +312,18 @@ func (hc *holdChecker) refine(cond ast.Expr, val bool, state *holdState) {
 	}
 }
 
-// stmt interprets s, mutating state in place.
-func (hc *holdChecker) stmt(s ast.Stmt, state *holdState) {
-	switch s := s.(type) {
-	case *ast.BlockStmt:
-		for _, st := range s.List {
-			hc.stmt(st, state)
-		}
+// transfer interprets one CFG node (a statement or a branch-condition
+// expression), mutating state in place. Structured control flow
+// (branching, joining, loop policy) lives in the CFG; only straight-line
+// effects are handled here.
+func (hc *holdChecker) transfer(n ast.Node, state *holdState) {
+	switch n := n.(type) {
 	case *ast.ExprStmt:
-		hc.scanExpr(s.X, state)
+		hc.scanExpr(n.X, state)
 	case *ast.AssignStmt:
-		hc.assign(s, state)
+		hc.assign(n, state)
 	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
 				if vs, ok := spec.(*ast.ValueSpec); ok {
 					for _, v := range vs.Values {
@@ -310,16 +333,10 @@ func (hc *holdChecker) stmt(s ast.Stmt, state *holdState) {
 			}
 		}
 	case *ast.DeferStmt:
-		// A deferred release covers every subsequent exit.
-		if kinds := releaseKinds(s.Call); kinds != nil {
-			hc.applyRelease(state, kinds)
-			for _, k := range kinds {
-				state.deferred[k] = true
-			}
-			return
-		}
-		ast.Inspect(s.Call, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok {
+		// A deferred release covers every subsequent exit. Inspect visits
+		// the deferred call itself as well as calls nested in its args.
+		ast.Inspect(n.Call, func(nn ast.Node) bool {
+			if call, ok := nn.(*ast.CallExpr); ok {
 				if kinds := releaseKinds(call); kinds != nil {
 					hc.applyRelease(state, kinds)
 					for _, k := range kinds {
@@ -329,108 +346,17 @@ func (hc *holdChecker) stmt(s ast.Stmt, state *holdState) {
 			}
 			return true
 		})
-	case *ast.IfStmt:
-		if s.Init != nil {
-			hc.stmt(s.Init, state)
-		}
-		hc.scanExpr(s.Cond, state)
-		thenState := state.clone()
-		hc.refine(s.Cond, true, thenState)
-		hc.stmt(s.Body, thenState)
-		elseState := state.clone()
-		hc.refine(s.Cond, false, elseState)
-		if s.Else != nil {
-			hc.stmt(s.Else, elseState)
-		}
-		*state = *thenState
-		state.join(elseState)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			hc.stmt(s.Init, state)
-		}
-		hc.scanExpr(s.Cond, state)
-		body := state.clone()
-		hc.stmt(s.Body, body)
-		if s.Post != nil {
-			hc.stmt(s.Post, body)
-		}
-		// Adopt the body-end state: holds the body created stay
-		// outstanding downstream, and a release loop (for _, l := range
-		// created { Release... }) counts as discharging. The
-		// zero-iteration path is deliberately dropped — the release-loop
-		// idiom iterates exactly the holds that were created, so "loop
-		// ran zero times" coincides with "nothing to release".
-		*state = *body
-	case *ast.RangeStmt:
-		hc.scanExpr(s.X, state)
-		body := state.clone()
-		hc.stmt(s.Body, body)
-		*state = *body
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			hc.stmt(s.Init, state)
-		}
-		hc.scanExpr(s.Tag, state)
-		hc.caseBodies(s.Body, state)
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			hc.stmt(s.Init, state)
-		}
-		hc.caseBodies(s.Body, state)
-	case *ast.SelectStmt:
-		hc.caseBodies(s.Body, state)
+	case *ast.GoStmt:
+		hc.scanExpr(n.Call, state)
 	case *ast.ReturnStmt:
-		for _, r := range s.Results {
+		for _, r := range n.Results {
 			hc.scanExpr(r, state)
 		}
-		if hc.isFailureReturn(s) {
-			hc.reportLeaks(s.Pos(), "failure return", state)
-		}
-	case *ast.BranchStmt:
-		if s.Tok == token.CONTINUE {
-			// Abandoning the current candidate/iteration with holds the
-			// iteration created and never released. Holds that were
-			// created before this loop began (surviving siblings from an
-			// earlier phase) are kept by design and not charged here.
-			hc.reportLeaksWithin(s.Pos(), "continue", state, enclosingLoop(hc.fd, s.Pos()))
-		}
-		// break transfers to after the loop with state intact; the join
-		// in the loop handler over-approximates that.
-	case *ast.GoStmt:
-		hc.scanExpr(s.Call, state)
-	case *ast.IncDecStmt, *ast.EmptyStmt, *ast.LabeledStmt, *ast.SendStmt:
-		if ls, ok := s.(*ast.LabeledStmt); ok {
-			hc.stmt(ls.Stmt, state)
-		}
-	}
-}
-
-func (hc *holdChecker) caseBodies(body *ast.BlockStmt, state *holdState) {
-	entry := state.clone()
-	first := true
-	for _, cl := range body.List {
-		var stmts []ast.Stmt
-		switch cl := cl.(type) {
-		case *ast.CaseClause:
-			stmts = cl.Body
-		case *ast.CommClause:
-			stmts = cl.Body
-		}
-		cs := entry.clone()
-		for _, st := range stmts {
-			hc.stmt(st, cs)
-		}
-		if first {
-			*state = *cs
-			first = false
-		} else {
-			state.join(cs)
-		}
-	}
-	if first {
-		*state = *entry
-	} else {
-		state.join(entry) // no case may match
+	case *ast.IncDecStmt, *ast.EmptyStmt, *ast.BranchStmt, *ast.SendStmt:
+		// No hold/release effects; break and continue are observed by the
+		// onBranch hook, and the CFG's joins over-approximate their flow.
+	case ast.Expr:
+		hc.scanExpr(n, state)
 	}
 }
 

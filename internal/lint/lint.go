@@ -57,7 +57,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Hotpath, HoldPair, Guarded}
+	return []*Analyzer{Determinism, Hotpath, HoldPair, Guarded, LockOrder, Goroutine, Atomic}
 }
 
 // ---------------------------------------------------------------------------
@@ -70,6 +70,9 @@ func All() []*Analyzer {
 //	//acp:alloc-ok <why>               waive a hot-path allocation finding
 //	//acp:holdpair-ok <why>            waive a hold/rollback finding
 //	//acp:guarded-ok <why>             waive a guarded-field finding
+//	//acp:lockorder-ok <why>           waive a lock-order inversion finding
+//	//acp:goroutine-ok <why>           waive a goroutine-lifecycle finding
+//	//acp:atomic-ok <why>              waive an atomic-consistency finding
 //
 // A waiver applies when it sits on the offending line, on the line
 // directly above it, or in the enclosing function's doc comment. All

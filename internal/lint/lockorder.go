@@ -1,0 +1,441 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a per-package mutex-acquisition graph and reports
+// cycles: if one code path locks A and then B while another locks B and
+// then A, the two paths deadlock when they interleave. This is the
+// deadlock class the ROADMAP's striped-ledger-locks item walks into, so
+// the check lands first.
+//
+// Lock classes are receiver-insensitive, RacerD-style: every c.mu for
+// the same struct field is one class regardless of which instance c is,
+// a local/parameter whose named type embeds a mutex keys by the type,
+// and a plain mutex variable keys by the variable. Striped locks
+// (mu[i] then mu[j] on one slice field) collapse to one class and are
+// deliberately not reported: intra-class ordering needs a value-level
+// protocol (index order) that a static class graph cannot see.
+//
+// The analysis runs the shared CFG dataflow (cfg.go) per function with
+// an ordered lockset as the abstract state, charges nested acquisitions
+// as graph edges, and sees through same-package calls with transitive
+// call summaries (summary.go): calling a method that locks B while
+// holding A is an A→B edge at the call site. Deferred calls run
+// synchronously before return and are charged; `go` statements and
+// function-literal bodies escape the caller's lockset (literals are
+// analysed as their own roots with an empty lockset). One diagnostic is
+// reported per strongly connected component, at the latest acquisition
+// site in the cycle. Test files are skipped.
+var LockOrder = &Analyzer{
+	Name: "acplockorder",
+	Doc: "report mutex acquisition cycles (lock-order inversions) in the per-package " +
+		"lock graph (waive with //acp:lockorder-ok <why>)",
+	Run: runLockOrder,
+}
+
+const lockOrderWaiver = "lockorder-ok"
+
+type lockEdgeKey struct {
+	from, to types.Object
+}
+
+type lockOrderChecker struct {
+	pass     *Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	acquires func(*types.Func) map[types.Object]bool
+	// edges maps an ordered class pair to the earliest site where `to`
+	// was acquired while `from` was held.
+	edges map[lockEdgeKey]token.Pos
+	names map[types.Object]string
+}
+
+type lockState struct {
+	held []types.Object
+}
+
+func (s *lockState) clone() *lockState {
+	return &lockState{held: append([]types.Object(nil), s.held...)}
+}
+
+// join keeps only the locks held on both paths, in dst's order.
+func (s *lockState) join(other *lockState) *lockState {
+	kept := s.held[:0]
+	for _, h := range s.held {
+		for _, o := range other.held {
+			if h == o {
+				kept = append(kept, h)
+				break
+			}
+		}
+	}
+	s.held = kept
+	return s
+}
+
+func runLockOrder(pass *Pass) error {
+	decls := declaredFuncs(pass)
+	lc := &lockOrderChecker{
+		pass:  pass,
+		decls: decls,
+		edges: map[lockEdgeKey]token.Pos{},
+		names: map[types.Object]string{},
+	}
+	lc.acquires = callSummaries(pass, decls, lc.directAcquires)
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				lc.checkBody(fd.Body)
+			}
+		}
+		// Function literals run at an unknown time (goroutines, timer
+		// callbacks): analyse each as a root with an empty lockset.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				lc.checkBody(lit.Body)
+			}
+			return true
+		})
+	}
+	lc.report()
+	return nil
+}
+
+func (lc *lockOrderChecker) checkBody(body *ast.BlockStmt) {
+	runFlow(buildCFG(body), &lockState{}, flowHooks[*lockState]{
+		clone:    (*lockState).clone,
+		join:     (*lockState).join,
+		transfer: lc.transfer,
+	})
+}
+
+func (lc *lockOrderChecker) transfer(n ast.Node, s *lockState) {
+	switch n.(type) {
+	case *ast.DeferStmt:
+		// Deferred calls run at return, where the lockset differs from
+		// the current one; they are charged through call summaries at the
+		// caller instead.
+		return
+	case *ast.GoStmt:
+		// The spawned body runs on another goroutine without this
+		// goroutine's locks; its literal is analysed as its own root.
+		return
+	}
+	ast.Inspect(n, func(nn ast.Node) bool {
+		switch nn := nn.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			lc.call(nn, s)
+		}
+		return true
+	})
+}
+
+func (lc *lockOrderChecker) call(call *ast.CallExpr, s *lockState) {
+	if recv, name, ok := syncMutexMethod(lc.pass.TypesInfo, call); ok {
+		obj, disp := syncRecvClass(lc.pass, recv)
+		if obj == nil {
+			return
+		}
+		if _, ok := lc.names[obj]; !ok {
+			lc.names[obj] = disp
+		}
+		switch name {
+		case "Unlock", "RUnlock":
+			for i := len(s.held) - 1; i >= 0; i-- {
+				if s.held[i] == obj {
+					s.held = append(s.held[:i], s.held[i+1:]...)
+					break
+				}
+			}
+		default: // Lock, RLock, TryLock, TryRLock
+			lc.charge(s, obj, call.Pos())
+			for _, h := range s.held {
+				if h == obj {
+					return
+				}
+			}
+			s.held = append(s.held, obj)
+		}
+		return
+	}
+	if g := staticCallee(lc.pass, lc.decls, call); g != nil {
+		for a := range lc.acquires(g) {
+			lc.charge(s, a, call.Pos())
+		}
+	}
+}
+
+// charge records an edge h→obj for every held lock h.
+func (lc *lockOrderChecker) charge(s *lockState, obj types.Object, pos token.Pos) {
+	for _, h := range s.held {
+		if h == obj {
+			continue
+		}
+		k := lockEdgeKey{from: h, to: obj}
+		if p, ok := lc.edges[k]; !ok || pos < p {
+			lc.edges[k] = pos
+		}
+	}
+}
+
+// directAcquires lists the lock classes a function acquires in its own
+// body (deferred calls included, goroutines and literals excluded); the
+// summary layer closes it over same-package callees.
+func (lc *lockOrderChecker) directAcquires(fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			recv, name, ok := syncMutexMethod(lc.pass.TypesInfo, n)
+			if !ok || name == "Unlock" || name == "RUnlock" {
+				return true
+			}
+			obj, disp := syncRecvClass(lc.pass, recv)
+			if obj == nil {
+				return true
+			}
+			if _, ok := lc.names[obj]; !ok {
+				lc.names[obj] = disp
+			}
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// syncMutexMethod matches a call to sync.Mutex/RWMutex/Locker
+// Lock/RLock/TryLock/TryRLock/Unlock/RUnlock and returns the receiver
+// expression and method name.
+func syncMutexMethod(info *types.Info, call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+		return sel.X, fn.Name(), true
+	}
+	return nil, "", false
+}
+
+// syncRecvClass maps the receiver expression of a sync primitive
+// (mutex, WaitGroup) to its sharing class and a display name. Field
+// selectors key by the field object (one class per struct field,
+// instance-insensitive); striped mu[i] collapses to the slice field; a
+// named struct embedding the primitive keys by the type; a plain
+// variable keys by the variable.
+func syncRecvClass(pass *Pass, e ast.Expr) (types.Object, string) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok {
+			name := v.Name()
+			if sel, ok := pass.TypesInfo.Selections[e]; ok {
+				if named, ok := derefType(sel.Recv()).(*types.Named); ok {
+					name = named.Obj().Name() + "." + name
+				}
+			}
+			return v, name
+		}
+	case *ast.IndexExpr:
+		if obj, name := syncRecvClass(pass, e.X); obj != nil {
+			return obj, name + "[i]"
+		}
+	case *ast.StarExpr:
+		return syncRecvClass(pass, e.X)
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[e].(*types.Var)
+		if !ok {
+			return nil, ""
+		}
+		if named, ok := derefType(v.Type()).(*types.Named); ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+			// l.Lock() through an embedded primitive: unify every instance
+			// of the embedding type.
+			return named.Obj(), named.Obj().Name()
+		}
+		return v, v.Name()
+	}
+	return nil, ""
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// report finds strongly connected components of the acquisition graph
+// and reports one inversion per component, anchored at the latest
+// acquisition site inside it.
+func (lc *lockOrderChecker) report() {
+	if len(lc.edges) == 0 {
+		return
+	}
+	var nodes []types.Object
+	seen := map[types.Object]bool{}
+	for k := range lc.edges {
+		for _, o := range []types.Object{k.from, k.to} {
+			if !seen[o] {
+				seen[o] = true
+				nodes = append(nodes, o)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if lc.names[nodes[i]] != lc.names[nodes[j]] {
+			return lc.names[nodes[i]] < lc.names[nodes[j]]
+		}
+		return nodes[i].Pos() < nodes[j].Pos()
+	})
+	idx := map[types.Object]int{}
+	for i, o := range nodes {
+		idx[o] = i
+	}
+	adj := make([][]int, len(nodes))
+	for k := range lc.edges {
+		adj[idx[k.from]] = append(adj[idx[k.from]], idx[k.to])
+	}
+	for _, a := range adj {
+		sort.Ints(a)
+	}
+	for _, scc := range stronglyConnected(adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		lc.reportSCC(nodes, adj, scc)
+	}
+}
+
+func (lc *lockOrderChecker) reportSCC(nodes []types.Object, adj [][]int, scc []int) {
+	in := map[int]bool{}
+	for _, n := range scc {
+		in[n] = true
+	}
+	// The representative edge: the latest acquisition inside the cycle.
+	var repFrom, repTo int
+	var repPos token.Pos
+	for _, u := range scc {
+		for _, v := range adj[u] {
+			if !in[v] {
+				continue
+			}
+			if p := lc.edges[lockEdgeKey{nodes[u], nodes[v]}]; p > repPos {
+				repFrom, repTo, repPos = u, v, p
+			}
+		}
+	}
+	// Close the cycle: a path from repTo back to repFrom inside the SCC.
+	path := sccPath(adj, in, repTo, repFrom)
+	cycle := lc.names[nodes[repFrom]] + " → " + lc.names[nodes[repTo]]
+	for _, n := range path[1:] {
+		cycle += " → " + lc.names[nodes[n]]
+	}
+	counterPos := lc.edges[lockEdgeKey{nodes[path[0]], nodes[path[1]]}]
+	if lc.pass.waived(repPos, lockOrderWaiver) {
+		return
+	}
+	lc.pass.Reportf(repPos,
+		"lock order inversion: %s is acquired while holding %s, but line %d nests them in the opposite order (cycle %s); pick one global acquisition order (//acp:lockorder-ok <why> to waive)",
+		lc.names[nodes[repTo]], lc.names[nodes[repFrom]],
+		lc.pass.Fset.Position(counterPos).Line, cycle)
+}
+
+// sccPath returns a node path from src to dst using only edges inside
+// the component (both ends included).
+func sccPath(adj [][]int, in map[int]bool, src, dst int) []int {
+	prev := map[int]int{src: -1}
+	stack := []int{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u == dst {
+			break
+		}
+		for _, v := range adj[u] {
+			if !in[v] {
+				continue
+			}
+			if _, ok := prev[v]; !ok {
+				prev[v] = u
+				stack = append(stack, v)
+			}
+		}
+	}
+	var rev []int
+	for n := dst; n != -1; n = prev[n] {
+		rev = append(rev, n)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// stronglyConnected is Tarjan's algorithm; components come out in a
+// deterministic order given deterministic adjacency.
+func stronglyConnected(adj [][]int) [][]int {
+	n := len(adj)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+	var strong func(v int)
+	strong = func(v int) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == -1 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Ints(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			strong(v)
+		}
+	}
+	return comps
+}

@@ -1,0 +1,97 @@
+package lint
+
+// summary.go computes per-function call summaries: facts a function
+// establishes directly, unioned with the facts of every same-package
+// function it (transitively) calls. The concurrency analyzers use it to
+// see through one level of structure — a goroutine body that calls
+// s.handleConn still counts handleConn's wg.Done, and a method that
+// takes c.mu charges that acquisition to every caller holding another
+// lock.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// declaredFuncs indexes every function and method declared in the
+// package by its types object.
+func declaredFuncs(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// staticCallee resolves a call to a function declared in this package,
+// or nil (builtin, other package, interface method, function value).
+func staticCallee(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *types.Func {
+	fn, ok := calleeObj(pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return nil
+	}
+	if _, ok := decls[fn]; !ok {
+		return nil
+	}
+	return fn
+}
+
+// callSummaries returns a memoized lookup from a declared function to
+// the set of facts it establishes: direct(fd) plus the facts of every
+// same-package function its body calls, transitively. Calls made inside
+// function literals or `go` statements are excluded — a closure runs at
+// an unknown later time (a goroutine, a timer callback) and a spawned
+// goroutine runs concurrently, so neither is part of the call itself.
+// Recursive cycles are cut by returning the in-progress partial summary,
+// which under-approximates mutual recursion; every client treats a
+// missing fact conservatively.
+func callSummaries[F comparable](pass *Pass, decls map[*types.Func]*ast.FuncDecl, direct func(fd *ast.FuncDecl) []F) func(*types.Func) map[F]bool {
+	memo := make(map[*types.Func]map[F]bool)
+	visiting := make(map[*types.Func]bool)
+	var visit func(fn *types.Func) map[F]bool
+	visit = func(fn *types.Func) map[F]bool {
+		if m, ok := memo[fn]; ok {
+			return m
+		}
+		if visiting[fn] {
+			return nil
+		}
+		fd := decls[fn]
+		if fd == nil {
+			return nil
+		}
+		visiting[fn] = true
+		facts := make(map[F]bool)
+		for _, f := range direct(fd) {
+			facts[f] = true
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := staticCallee(pass, decls, call); callee != nil && callee != fn {
+				for f := range visit(callee) {
+					facts[f] = true
+				}
+			}
+			return true
+		})
+		delete(visiting, fn)
+		memo[fn] = facts
+		return facts
+	}
+	return visit
+}

@@ -1,0 +1,116 @@
+// Package atomic exercises acpatomic: memory that is ever touched via
+// sync/atomic must never be accessed plainly, and 64-bit atomic struct
+// fields must be 8-byte aligned on 32-bit targets. Sanctioned atomic
+// calls, value copies, and typed atomics stay silent.
+package atomic
+
+import "sync/atomic"
+
+// --- true positive 1: plain read of an atomically-updated field ------
+
+type counters struct {
+	probes int64
+	walks  int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.probes, 1)
+}
+
+func (c *counters) loadOK() int64 {
+	return atomic.LoadInt64(&c.probes)
+}
+
+func (c *counters) racyRead() int64 {
+	return c.probes // want `counters\.probes is accessed with sync/atomic elsewhere but read plainly here`
+}
+
+// --- true positive 2: plain write of an atomically-updated field -----
+
+func (c *counters) reset() {
+	atomic.AddInt64(&c.walks, 1)
+	c.walks = 0 // want `counters\.walks is accessed with sync/atomic elsewhere but written plainly here`
+}
+
+// --- true positive 3: misaligned 64-bit atomic field on 386 ----------
+
+type badLayout struct {
+	running bool
+	ops     int64 // want `64-bit atomic field badLayout\.ops sits at offset 4 of badLayout on 32-bit targets`
+}
+
+func (b *badLayout) add() {
+	atomic.AddInt64(&b.ops, 1)
+}
+
+// --- true positive 4: plain indexed read of an atomic slice element --
+
+type perComp struct {
+	counts []int64
+}
+
+func (p *perComp) add(i int) {
+	atomic.AddInt64(&p.counts[i], 1)
+}
+
+func (p *perComp) racyAt(i int) int64 {
+	return p.counts[i] // want `perComp\.counts\[i\] is accessed with sync/atomic elsewhere but read plainly here`
+}
+
+// --- negative 1: every access goes through sync/atomic ---------------
+
+type cleanCounters struct {
+	ops int64
+}
+
+func (c *cleanCounters) add()        { atomic.AddInt64(&c.ops, 1) }
+func (c *cleanCounters) load() int64 { return atomic.LoadInt64(&c.ops) }
+func (c *cleanCounters) swap() int64 { return atomic.SwapInt64(&c.ops, 0) }
+
+// --- negative 2: value copies are private ----------------------------
+
+// snapshot returns a value copy; plain access on the copy is fine.
+func (c *counters) snapshot() counters {
+	return counters{
+		probes: atomic.LoadInt64(&c.probes),
+		walks:  atomic.LoadInt64(&c.walks),
+	}
+}
+
+func (c counters) total() int64 {
+	return c.probes + c.walks // value receiver: a private copy
+}
+
+func diff(a, b counters) int64 {
+	return a.probes - b.probes
+}
+
+// --- negative 3: typed atomics are always fine -----------------------
+
+type typed struct {
+	flag bool
+	ops  atomic.Int64 // compiler-aligned, plain access impossible
+}
+
+func (t *typed) add() { t.ops.Add(1) }
+
+// --- negative 4: aligned 64-bit atomic field -------------------------
+
+type goodLayout struct {
+	ops     int64 // offset 0: aligned on every target
+	running bool
+}
+
+func (g *goodLayout) add() { atomic.AddInt64(&g.ops, 1) }
+
+// --- waived plain read ------------------------------------------------
+
+type waivedCounters struct {
+	ops int64
+}
+
+func (w *waivedCounters) add() { atomic.AddInt64(&w.ops, 1) }
+
+func (w *waivedCounters) lastWins() int64 {
+	return w.ops //acp:atomic-ok read only after the worker pool joins, publication is via Wait
+}

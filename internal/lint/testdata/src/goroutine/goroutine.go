@@ -1,0 +1,114 @@
+// Package goroutine exercises acpgoroutine: every spawn must be tied
+// to a shutdown path (WaitGroup add/done, channel receive, or a
+// Close/Stop-bounded owner); tracked workers, drainers, and owned
+// server loops stay silent.
+package goroutine
+
+import "sync"
+
+// --- true positive 1: fire-and-forget literal mutating shared state --
+
+func leakPlainSpawn(n *int) {
+	go func() { // want `goroutine is not tied to a shutdown path`
+		*n++
+	}()
+}
+
+// --- true positive 2: Done without Add before the spawn --------------
+
+func leakAddAfterSpawn(wg *sync.WaitGroup, n *int) {
+	go func() { // want `goroutine is not tied to a shutdown path`
+		defer wg.Done()
+		*n++
+	}()
+	wg.Add(1) // too late: Wait can pass before the goroutine registers
+}
+
+// --- true positive 3: named worker with no lifecycle facts -----------
+
+func spinForever() {
+	for {
+	}
+}
+
+func leakNamedWorker() {
+	go spinForever() // want `goroutine is not tied to a shutdown path`
+}
+
+// --- negative 1: WaitGroup-tracked literal ---------------------------
+
+func trackedSpawn(n *int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		*n++
+	}()
+	wg.Wait()
+}
+
+// --- negative 2: Done through a summarized callee --------------------
+
+type pool struct {
+	wg   sync.WaitGroup
+	work chan int
+}
+
+func (p *pool) run() {
+	defer p.wg.Done()
+	for range p.work {
+	}
+}
+
+func (p *pool) start() {
+	p.wg.Add(1)
+	go p.run()
+}
+
+// --- negative 3: blocked on a done-channel receive -------------------
+
+func watcher(done chan struct{}, n *int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				*n++
+			}
+		}
+	}()
+}
+
+// --- negative 4: drainer bounded by joining the tracked workers ------
+
+func closer(wg *sync.WaitGroup, out chan int) {
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+}
+
+// --- negative 5: single call bounded by a closeable owner ------------
+
+type srv struct{ closed bool }
+
+func (s *srv) serve() {
+	for !s.closed {
+	}
+}
+
+func (s *srv) Close() { s.closed = true }
+
+func spawnServer(s *srv) {
+	go s.serve()
+}
+
+// --- waived fire-and-forget ------------------------------------------
+
+func waivedSpawn(n *int) {
+	//acp:goroutine-ok best-effort cache warmup, process lifetime bounds it
+	go func() {
+		*n++
+	}()
+}

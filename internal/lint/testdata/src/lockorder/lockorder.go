@@ -1,0 +1,159 @@
+// Package lockorder exercises acplockorder: cycles in the per-package
+// mutex-acquisition graph are inversions that deadlock under
+// interleaving; consistent orders, handoffs, and striped same-class
+// nesting must stay silent.
+package lockorder
+
+import "sync"
+
+// --- true positive 1: direct two-lock inversion across functions -----
+
+type Ledger struct {
+	mu    sync.Mutex
+	total int
+}
+
+type Book struct {
+	mu   sync.Mutex
+	rows int
+}
+
+func creditBoth(l *Ledger, b *Book) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rows++
+	l.total++
+}
+
+func auditBoth(l *Ledger, b *Book) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	l.mu.Lock() // want `lock order inversion: Ledger\.mu is acquired while holding Book\.mu`
+	defer l.mu.Unlock()
+	l.total++
+}
+
+// --- true positive 2: inversion through a summarized callee ----------
+
+type Cache struct {
+	mu   sync.Mutex
+	hits int
+}
+
+type Stats struct {
+	mu    sync.Mutex
+	evict int
+}
+
+func (s *Stats) bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evict++
+}
+
+func (c *Cache) evictOne(s *Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits--
+	s.bump() // acquires Stats.mu while holding Cache.mu
+}
+
+func (s *Stats) flush(c *Cache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.mu.Lock() // want `lock order inversion: Cache\.mu is acquired while holding Stats\.mu`
+	c.hits = 0
+	c.mu.Unlock()
+}
+
+// --- true positive 3: three-lock cycle -------------------------------
+
+type Ingest struct{ mu sync.Mutex }
+type Route struct{ mu sync.Mutex }
+type Sink struct{ mu sync.Mutex }
+
+func ingestThenRoute(i *Ingest, r *Route) {
+	i.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	i.mu.Unlock()
+}
+
+func routeThenSink(r *Route, s *Sink) {
+	r.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func sinkThenIngest(s *Sink, i *Ingest) {
+	s.mu.Lock()
+	i.mu.Lock() // want `cycle Sink\.mu → Ingest\.mu → Route\.mu → Sink\.mu`
+	i.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// --- negative 1: the same pair is always nested in one order ---------
+
+type Pool struct{ mu sync.Mutex }
+type Meter struct{ mu sync.RWMutex }
+
+func poolThenMeterWrite(p *Pool, m *Meter) {
+	p.mu.Lock()
+	m.mu.Lock()
+	m.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func poolThenMeterRead(p *Pool, m *Meter) {
+	p.mu.Lock()
+	m.mu.RLock()
+	m.mu.RUnlock()
+	p.mu.Unlock()
+}
+
+// --- negative 2: handoff, release before the next acquire ------------
+
+func meterThenPoolHandoff(p *Pool, m *Meter) {
+	m.mu.Lock()
+	m.mu.Unlock()
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// --- negative 3: striped locks are one class, not a self-cycle -------
+
+type Striped struct {
+	mu   []sync.Mutex
+	vals []int
+}
+
+func (s *Striped) move(i, j int) {
+	s.mu[i].Lock()
+	s.mu[j].Lock()
+	s.vals[j] += s.vals[i]
+	s.vals[i] = 0
+	s.mu[j].Unlock()
+	s.mu[i].Unlock()
+}
+
+// --- waived inversion: justified escape hatch stays silent -----------
+
+type Primary struct{ mu sync.Mutex }
+type Standby struct{ mu sync.Mutex }
+
+func promote(p *Primary, s *Standby) {
+	p.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func demote(p *Primary, s *Standby) {
+	s.mu.Lock()
+	p.mu.Lock() //acp:lockorder-ok demote only runs in single-threaded recovery, promote is fenced off
+	p.mu.Unlock()
+	s.mu.Unlock()
+}

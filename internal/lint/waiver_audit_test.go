@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWaiverAudit walks every live Go file in the repository and fails
+// if any //acp:*-ok waiver lacks a justification. The analyzers report
+// an unjustified waiver only when it actually intercepts a finding;
+// this audit catches the rest — stale or speculative waivers that sit
+// on clean lines would otherwise silently arm an escape hatch. Fixture
+// trees under testdata are exempt: they deliberately include an
+// unjustified waiver to pin the "requires a justification" diagnostic.
+func TestWaiverAudit(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	audited := 0
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Errorf("parsing %s: %v", path, err)
+			return nil
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				a, ok := parseAnnotation(c.Text)
+				if !ok || !strings.HasSuffix(a.name, "-ok") {
+					continue
+				}
+				audited++
+				if a.reason == "" {
+					t.Errorf("%s: //acp:%s lacks a justification — every waiver must say why",
+						fset.Position(c.Pos()), a.name)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audited == 0 {
+		t.Fatal("audit found no waivers at all; is the repo root path wrong?")
+	}
+	t.Logf("audited %d waivers", audited)
+}

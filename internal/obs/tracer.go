@@ -261,7 +261,7 @@ func New(sink Sink) *Tracer {
 	if sink == nil {
 		return nil
 	}
-	return &Tracer{sink: sink, start: time.Now()}
+	return &Tracer{sink: sink, start: time.Now()} //acp:nondeterminism-ok wall-clock base is the documented default; deterministic harnesses substitute virtual time via SetClock
 }
 
 // NewLive returns a tracer with no base sink, for consumers that attach
@@ -269,7 +269,7 @@ func New(sink Sink) *Tracer {
 // feed). Until the first subscriber arrives the tracer reports
 // disabled and emission costs two atomic loads.
 func NewLive() *Tracer {
-	return &Tracer{start: time.Now()}
+	return &Tracer{start: time.Now()} //acp:nondeterminism-ok wall-clock base is the documented default; deterministic harnesses substitute virtual time via SetClock
 }
 
 // SetClock replaces the tracer's timestamp source (e.g. the simulator's
@@ -320,7 +320,7 @@ func (t *Tracer) emit(e Event) {
 	if t.now != nil {
 		e.AtMicros = t.now().Microseconds()
 	} else {
-		e.AtMicros = time.Since(t.start).Microseconds()
+		e.AtMicros = time.Since(t.start).Microseconds() //acp:nondeterminism-ok fallback for live (non-replayed) tracers only; replayed runs install t.now via SetClock
 	}
 	if t.sink != nil {
 		t.sink.Emit(e)
